@@ -1,0 +1,67 @@
+// Command lfsbench regenerates the tables and figures of the LFS paper's
+// evaluation. Every result is reported in simulated disk time on a
+// Wren IV-model device, so runs are deterministic and host-independent.
+//
+// Usage:
+//
+//	lfsbench -list
+//	lfsbench -exp fig8
+//	lfsbench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run (see -list), or \"all\"")
+		quick = flag.Bool("quick", false, "use scaled-down disks and workloads")
+		seed  = flag.Int64("seed", 42, "random seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-22s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	run := func(e bench.Experiment) error {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(ran in %v host time)\n\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, "lfsbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, err := bench.Lookup(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfsbench:", err)
+		os.Exit(1)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, "lfsbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,252 @@
+// Command lfsh is an interactive shell over a log-structured file system
+// image: create and inspect files, trigger cleaning and checkpoints, cut
+// the power, and watch the log react.
+//
+//	lfsh disk.img
+//	lfsh -new -size 64 disk.img
+//
+// Commands: ls [path], cat <path>, put <path> <text>, gen <path> <KB>,
+// rm <path>, mkdir <path>, mv <old> <new>, ln <old> <new>, stat <path>,
+// df, segs, sync, checkpoint, clean, idle <n>, crash, fsck, save, help,
+// quit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+
+	"repro/lfs"
+)
+
+func main() {
+	var (
+		newFS  = flag.Bool("new", false, "format a fresh file system instead of mounting")
+		sizeMB = flag.Int("size", 64, "disk size in MB when formatting")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lfsh [-new [-size MB]] <image>")
+		os.Exit(2)
+	}
+	img := flag.Arg(0)
+
+	var d *lfs.Disk
+	var fs *lfs.FS
+	var err error
+	if *newFS {
+		d = lfs.NewDisk(int64(*sizeMB) << 20 / 4096)
+		fs, err = lfs.Format(d, lfs.Options{})
+	} else {
+		d, err = lfs.LoadDisk(img)
+		if err == nil {
+			fs, err = lfs.Mount(d, lfs.Options{})
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfsh:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("lfsh: %s mounted (%d segments x %d KB). Type help.\n",
+		img, fs.NumSegments(), fs.SegmentBytes()>>10)
+
+	sc := bufio.NewScanner(os.Stdin)
+	rng := rand.New(rand.NewSource(1))
+	for {
+		fmt.Print("lfs> ")
+		if !sc.Scan() {
+			break
+		}
+		args := strings.Fields(sc.Text())
+		if len(args) == 0 {
+			continue
+		}
+		if quit := runCmd(img, d, &fs, rng, args); quit {
+			break
+		}
+	}
+}
+
+func runCmd(img string, d *lfs.Disk, fsp **lfs.FS, rng *rand.Rand, args []string) (quit bool) {
+	fs := *fsp
+	fail := func(err error) {
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+	need := func(n int) bool {
+		if len(args) < n+1 {
+			fmt.Printf("%s: missing argument(s)\n", args[0])
+			return false
+		}
+		return true
+	}
+	switch args[0] {
+	case "help":
+		fmt.Println("ls [path] | cat <p> | put <p> <text...> | gen <p> <KB> | rm <p> | mkdir <p>")
+		fmt.Println("mv <a> <b> | ln <a> <b> | stat <p> | df | segs | sync | checkpoint | clean")
+		fmt.Println("idle <n> | crash | fsck | save | quit")
+	case "quit", "exit":
+		fail(fs.Unmount())
+		fail(d.Save(img))
+		fmt.Println("saved", img)
+		return true
+	case "ls":
+		p := "/"
+		if len(args) > 1 {
+			p = args[1]
+		}
+		entries, err := fs.ReadDir(p)
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, e := range entries {
+			full := strings.TrimSuffix(p, "/") + "/" + e.Name
+			info, err := fs.Stat(full)
+			if err != nil {
+				fmt.Printf("?         %s\n", e.Name)
+				continue
+			}
+			kind := "-"
+			if info.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %8d  inum=%-5d nlink=%d  %s\n", kind, info.Size, info.Inum, info.Nlink, e.Name)
+		}
+	case "cat":
+		if !need(1) {
+			return
+		}
+		data, err := fs.ReadFile(args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		if len(data) > 512 {
+			fmt.Printf("%s... (%d bytes)\n", data[:512], len(data))
+		} else {
+			fmt.Printf("%s\n", data)
+		}
+	case "put":
+		if !need(2) {
+			return
+		}
+		fail(fs.WriteFile(args[1], []byte(strings.Join(args[2:], " "))))
+	case "gen":
+		if !need(2) {
+			return
+		}
+		kb, err := strconv.Atoi(args[2])
+		if err != nil || kb < 0 {
+			fmt.Println("gen: bad size")
+			return
+		}
+		buf := make([]byte, kb<<10)
+		rng.Read(buf)
+		fail(fs.WriteFile(args[1], buf))
+	case "rm":
+		if !need(1) {
+			return
+		}
+		fail(fs.Remove(args[1]))
+	case "mkdir":
+		if !need(1) {
+			return
+		}
+		fail(fs.Mkdir(args[1]))
+	case "mv":
+		if !need(2) {
+			return
+		}
+		fail(fs.Rename(args[1], args[2]))
+	case "ln":
+		if !need(2) {
+			return
+		}
+		fail(fs.Link(args[1], args[2]))
+	case "stat":
+		if !need(1) {
+			return
+		}
+		info, err := fs.Stat(args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("%+v\n", info)
+	case "df":
+		st := fs.Stats()
+		fmt.Printf("utilization %.1f%%, %d clean segments, write cost %.2f\n",
+			fs.DiskCapacityUtilization()*100, fs.CleanSegments(), st.WriteCost())
+		fmt.Printf("cleaner: %d segments cleaned (%.0f%% empty, avg u %.3f), %d checkpoints\n",
+			st.SegmentsCleaned, st.EmptyCleanedFraction()*100, st.AvgCleanedUtil(), st.Checkpoints)
+		ds := d.Stats()
+		fmt.Printf("disk: %d reads, %d writes, %d seeks, %.2fs busy\n",
+			ds.ReadOps, ds.WriteOps, ds.Seeks, ds.BusyTime.Seconds())
+	case "segs":
+		utils := fs.SegmentUtilizations()
+		hist := make([]int, 10)
+		for _, u := range utils {
+			b := int(u * 10)
+			if b > 9 {
+				b = 9
+			}
+			hist[b]++
+		}
+		for b, n := range hist {
+			bar := strings.Repeat("#", n*50/len(utils))
+			fmt.Printf("%.1f-%.1f %5d %s\n", float64(b)/10, float64(b+1)/10, n, bar)
+		}
+	case "sync":
+		fail(fs.Sync())
+	case "checkpoint":
+		fail(fs.Checkpoint())
+	case "clean":
+		fail(fs.Clean())
+	case "idle":
+		if !need(1) {
+			return
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			fmt.Println("idle: bad count")
+			return
+		}
+		fail(fs.CleanIdle(n))
+	case "crash":
+		d.Crash()
+		d.Reopen()
+		fs2, err := lfs.Mount(d, lfs.Options{})
+		if err != nil {
+			fail(err)
+			return
+		}
+		*fsp = fs2
+		fmt.Println("power cut; recovered via checkpoint + roll-forward")
+	case "fsck":
+		rep, err := fs.Check()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if len(rep.Problems) == 0 {
+			fmt.Printf("clean: %d files\n", rep.Files)
+		}
+		for _, p := range rep.Problems {
+			fmt.Println("problem:", p)
+		}
+	case "save":
+		fail(fs.Sync())
+		fail(d.Save(img))
+		fmt.Println("saved", img)
+	default:
+		fmt.Printf("unknown command %q (try help)\n", args[0])
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/lfs"
+)
+
+func testShell(t *testing.T) (*lfs.Disk, *lfs.FS, string) {
+	t.Helper()
+	img := filepath.Join(t.TempDir(), "sh.img")
+	d := lfs.NewDisk(4096)
+	fs, err := lfs.Format(d, lfs.Options{SegmentBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fs, img
+}
+
+// run pipes one command line through the shell's dispatcher.
+func run(t *testing.T, d *lfs.Disk, fsp **lfs.FS, rng *rand.Rand, line ...string) bool {
+	t.Helper()
+	return runCmd("/tmp/never-written.img", d, fsp, rng, line)
+}
+
+func TestShellFileLifecycle(t *testing.T) {
+	d, fs, _ := testShell(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, line := range [][]string{
+		{"mkdir", "/dir"},
+		{"put", "/dir/file", "hello", "shell"},
+		{"gen", "/dir/blob", "64"},
+		{"ls", "/dir"},
+		{"cat", "/dir/file"},
+		{"stat", "/dir/file"},
+		{"mv", "/dir/file", "/dir/renamed"},
+		{"ln", "/dir/renamed", "/alias"},
+		{"df"},
+		{"segs"},
+		{"sync"},
+		{"checkpoint"},
+		{"clean"},
+		{"idle", "2"},
+		{"rm", "/alias"},
+		{"fsck"},
+		{"help"},
+	} {
+		if quit := run(t, d, &fs, rng, line...); quit {
+			t.Fatalf("command %v quit the shell", line)
+		}
+	}
+	got, err := fs.ReadFile("/dir/renamed")
+	if err != nil || string(got) != "hello shell" {
+		t.Fatalf("state after shell session: %q, %v", got, err)
+	}
+}
+
+func TestShellCrashCommand(t *testing.T) {
+	d, fs, _ := testShell(t)
+	rng := rand.New(rand.NewSource(1))
+	run(t, d, &fs, rng, "put", "/persist", "before", "crash")
+	run(t, d, &fs, rng, "sync")
+	old := fs
+	if quit := run(t, d, &fs, rng, "crash"); quit {
+		t.Fatal("crash quit")
+	}
+	if fs == old {
+		t.Fatal("crash did not swap in the recovered file system")
+	}
+	got, err := fs.ReadFile("/persist")
+	if err != nil || string(got) != "before crash" {
+		t.Fatalf("post-crash: %q, %v", got, err)
+	}
+}
+
+func TestShellBadCommands(t *testing.T) {
+	d, fs, _ := testShell(t)
+	rng := rand.New(rand.NewSource(1))
+	// None of these may quit or panic.
+	for _, line := range [][]string{
+		{"bogus"},
+		{"cat"},
+		{"cat", "/missing"},
+		{"gen", "/x", "notanumber"},
+		{"rm"},
+		{"mv", "/only-one"},
+		{"idle", "nan"},
+		{"put", "/noargs"},
+	} {
+		if quit := run(t, d, &fs, rng, line...); quit {
+			t.Fatalf("bad command %v quit the shell", line)
+		}
+	}
+}
+
+func TestShellQuitSavesImage(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "save.img")
+	d := lfs.NewDisk(4096)
+	fs, err := lfs.Format(d, lfs.Options{SegmentBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	runCmd(img, d, &fs, rng, []string{"put", "/kept", "saved"})
+	if quit := runCmd(img, d, &fs, rng, []string{"quit"}); !quit {
+		t.Fatal("quit did not quit")
+	}
+	if _, err := os.Stat(img); err != nil {
+		t.Fatalf("image not saved: %v", err)
+	}
+	d2, err := lfs.LoadDisk(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := lfs.Mount(d2, lfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile("/kept")
+	if err != nil || string(got) != "saved" {
+		t.Fatalf("saved image content: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,101 @@
+// Command lfsim runs the paper's Section 3.5 cleaning-policy simulator
+// directly, for exploring policies beyond the stock figures.
+//
+//	lfsim -util 0.75 -pattern hotcold -policy costbenefit -agesort
+//	lfsim -sweep -pattern uniform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cleansim"
+)
+
+func main() {
+	var (
+		util    = flag.Float64("util", 0.75, "disk capacity utilization")
+		pattern = flag.String("pattern", "uniform", "access pattern: uniform or hotcold")
+		hotF    = flag.Float64("hotfiles", 0.1, "hot group size (fraction of files)")
+		hotA    = flag.Float64("hotaccess", 0.9, "hot group share of writes")
+		policy  = flag.String("policy", "greedy", "cleaning policy: greedy or costbenefit")
+		ageSort = flag.Bool("agesort", false, "sort live blocks by age when cleaning")
+		segs    = flag.Int("segments", 256, "disk size in segments")
+		segBlk  = flag.Int("segblocks", 128, "segment size in 4 KB blocks")
+		seed    = flag.Int64("seed", 42, "random seed")
+		sweep   = flag.Bool("sweep", false, "sweep utilization 0.1..0.9 instead of a single run")
+		hist    = flag.Bool("hist", false, "print the segment-utilization histogram")
+	)
+	flag.Parse()
+
+	cfg := cleansim.Config{
+		NumSegments:   *segs,
+		SegmentBlocks: *segBlk,
+		AgeSort:       *ageSort,
+		Seed:          *seed,
+		WarmupWrites:  60,
+		MeasureWrites: 20,
+	}
+	switch *pattern {
+	case "uniform":
+		cfg.Pattern = cleansim.Uniform{}
+	case "hotcold":
+		cfg.Pattern = cleansim.HotCold{HotFiles: *hotF, HotAccesses: *hotA}
+	default:
+		fmt.Fprintln(os.Stderr, "lfsim: unknown pattern", *pattern)
+		os.Exit(2)
+	}
+	switch *policy {
+	case "greedy":
+		cfg.Policy = cleansim.Greedy
+	case "costbenefit":
+		cfg.Policy = cleansim.CostBenefit
+	default:
+		fmt.Fprintln(os.Stderr, "lfsim: unknown policy", *policy)
+		os.Exit(2)
+	}
+
+	runOne := func(u float64) {
+		c := cfg
+		c.DiskUtilization = u
+		res, err := cleansim.Run(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("util=%.2f  pattern=%-22s policy=%-12s agesort=%-5v  write cost=%6.2f  cleaned=%d (%.0f%% empty, avg u=%.3f)\n",
+			u, cfg.Pattern.Name(), cfg.Policy, cfg.AgeSort, res.WriteCost,
+			res.SegmentsCleaned,
+			100*float64(res.SegmentsCleanedEmpty)/float64(max(1, res.SegmentsCleaned)),
+			res.AvgCleanedUtilization)
+		if *hist {
+			for i := 0; i < cleansim.Bins; i += 5 {
+				var v float64
+				for j := i; j < i+5 && j < cleansim.Bins; j++ {
+					v += res.UtilizationHistogram[j]
+				}
+				bar := ""
+				for k := 0; k < int(v*150); k++ {
+					bar += "#"
+				}
+				fmt.Printf("  %.2f-%.2f %6.3f %s\n", float64(i)/cleansim.Bins, float64(i+5)/cleansim.Bins, v, bar)
+			}
+		}
+	}
+
+	if *sweep {
+		for _, u := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+			runOne(u)
+		}
+		return
+	}
+	runOne(*util)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+// Cleaning shows the segment cleaner at work: a hot-and-cold overwrite
+// workload fragments the log, the cleaner compacts it, and the
+// cost-benefit policy ends up with the bimodal segment distribution of
+// Figure 6 — cold segments nearly full, cleaning concentrated on nearly
+// empty segments.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/lfs"
+)
+
+func main() {
+	d := lfs.NewDisk(16384) // 64 MB
+	fs, err := lfs.Format(d, lfs.Options{SegmentBlocks: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	payload := make([]byte, 16<<10)
+	rng.Read(payload)
+
+	// Fill to ~70%: 10% of the files will be hot, the rest cold.
+	var files []string
+	for i := 0; fs.DiskCapacityUtilization() < 0.70; i++ {
+		p := fmt.Sprintf("/f%05d", i)
+		if err := fs.WriteFile(p, payload); err != nil {
+			log.Fatal(err)
+		}
+		files = append(files, p)
+	}
+	hot := files[:len(files)/10]
+	cold := files[len(files)/10:]
+	fmt.Printf("populated %d files (%d hot, %d cold), utilization %.0f%%\n",
+		len(files), len(hot), len(cold), fs.DiskCapacityUtilization()*100)
+
+	// Hot-and-cold churn: 90% of writes to the hot tenth.
+	fs.ResetStats()
+	for i := 0; i < 6000; i++ {
+		var p string
+		if rng.Float64() < 0.9 {
+			p = hot[rng.Intn(len(hot))]
+		} else {
+			p = cold[rng.Intn(len(cold))]
+		}
+		if err := fs.WriteFile(p, payload); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := fs.Stats()
+	fmt.Printf("\nafter %d whole-file overwrites:\n", 6000)
+	fmt.Printf("  cleaner processed %d segments (%.0f%% empty, avg utilization %.2f)\n",
+		st.SegmentsCleaned, st.EmptyCleanedFraction()*100, st.AvgCleanedUtil())
+	fmt.Printf("  write cost: %.2f (1.0 = no cleaning overhead; paper's production systems: 1.2-1.6)\n",
+		st.WriteCost())
+
+	// The bimodal distribution (Figure 6 / Figure 10).
+	utils := fs.SegmentUtilizations()
+	hist := make([]int, 10)
+	for _, u := range utils {
+		b := int(u * 10)
+		if b > 9 {
+			b = 9
+		}
+		hist[b]++
+	}
+	fmt.Println("\nsegment utilization distribution:")
+	for b, n := range hist {
+		bar := ""
+		for i := 0; i < n*60/len(utils); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %.1f-%.1f %4d %s\n", float64(b)/10, float64(b+1)/10, n, bar)
+	}
+	fmt.Println("\ncold data sits in nearly full segments; free space concentrates")
+	fmt.Println("in nearly empty ones — exactly the bimodal shape the cost-benefit")
+	fmt.Println("policy is designed to produce (Section 3.6).")
+}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/ffs"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks disks and workloads so the whole suite runs in
+	// seconds; the full configuration matches the paper's scale where
+	// memory allows.
+	Quick bool
+	// Seed makes runs reproducible.
+	Seed int64
+	// CPU is the processor cost model (defaults to Sun4CPU).
+	CPU CPU
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPU == (CPU{}) {
+		c.CPU = Sun4CPU()
+	}
+	return c
+}
+
+// CPU is a simple processor cost model: a fixed cost per file system
+// call plus a per-byte cost for moving data. Speedup scales it to model
+// the faster processors of Figure 8(b).
+type CPU struct {
+	PerOp   time.Duration
+	PerByte time.Duration
+	Speedup float64
+}
+
+// Sun4CPU models the paper's Sun-4/260 (8.7 integer SPECmarks): the cost
+// is calibrated so the LFS small-file create phase is CPU-bound while
+// SunOS's is disk-bound, matching Section 5.1.
+func Sun4CPU() CPU {
+	return CPU{PerOp: 7 * time.Millisecond, PerByte: 2 * time.Nanosecond, Speedup: 1}
+}
+
+// Cost returns the CPU time for ops calls moving bytes of data.
+func (c CPU) Cost(ops int64, bytes int64) time.Duration {
+	t := time.Duration(ops)*c.PerOp + time.Duration(bytes)*c.PerByte
+	if c.Speedup > 0 {
+		t = time.Duration(float64(t) / c.Speedup)
+	}
+	return t
+}
+
+// Faster returns the same CPU scaled by factor (Figure 8(b)'s 2*Sun4,
+// 4*Sun4).
+func (c CPU) Faster(factor float64) CPU {
+	out := c
+	if out.Speedup == 0 {
+		out.Speedup = 1
+	}
+	out.Speedup *= factor
+	return out
+}
+
+// Elapsed combines CPU and disk time for a benchmark phase. With
+// asynchronous I/O (the log-structured file system) computation and disk
+// transfers overlap, so the phase takes whichever resource is the
+// bottleneck; with synchronous metadata writes (Unix FFS) the application
+// waits for the disk, so the costs add (Section 2.3: "Synchronous writes
+// couple the application's performance to that of the disk").
+func Elapsed(cpu, disk time.Duration, synchronous bool) time.Duration {
+	if synchronous {
+		return cpu + disk
+	}
+	if cpu > disk {
+		return cpu
+	}
+	return disk
+}
+
+// paper-scale and quick-scale device sizes, in 4 KB blocks.
+const (
+	fullDiskBlocks  = 76800 // ~300 MB, the paper's benchmark partition
+	quickDiskBlocks = 8192  // 32 MB
+)
+
+func (c Config) diskBlocks() int64 {
+	if c.Quick {
+		return quickDiskBlocks
+	}
+	return fullDiskBlocks
+}
+
+// newLFS builds a fresh log-structured file system on a Wren IV-model
+// disk with the paper's production configuration.
+func (c Config) newLFS() (*core.FS, *disk.Disk, error) {
+	return c.newLFSOpts(core.Options{})
+}
+
+func (c Config) newLFSOpts(opts core.Options) (*core.FS, *disk.Disk, error) {
+	return c.newLFSSized(c.diskBlocks(), opts)
+}
+
+// newLFSFixedSize builds an LFS on a device of the given size in blocks.
+func (c Config) newLFSFixedSize(nblocks int64) (*core.FS, *disk.Disk, error) {
+	return c.newLFSSized(nblocks, core.Options{})
+}
+
+func (c Config) newLFSSized(nblocks int64, opts core.Options) (*core.FS, *disk.Disk, error) {
+	d := disk.MustNew(disk.DefaultGeometry(nblocks))
+	if c.Quick {
+		if opts.SegmentBlocks == 0 {
+			opts.SegmentBlocks = 64
+		}
+		if opts.MaxInodes == 0 {
+			opts.MaxInodes = 16384
+		}
+	}
+	fs, err := core.Format(d, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("format lfs: %w", err)
+	}
+	return fs, d, nil
+}
+
+// newFFS builds the SunOS 4.0.3-style baseline on an identical disk.
+func (c Config) newFFS() (*ffs.FS, *disk.Disk, error) {
+	d := disk.MustNew(disk.DefaultGeometry(c.diskBlocks()))
+	opts := ffs.Options{}
+	if c.Quick {
+		opts.GroupBlocks = 512
+		opts.InodesPerGroup = 512
+	}
+	fs, err := ffs.Format(d, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("format ffs: %w", err)
+	}
+	return fs, d, nil
+}
+
+// usableCapacity returns the bytes a profile may fill on the file
+// system: the segment area minus the cleaner's working reserve. On
+// paper-scale disks the reserve is a few percent; on quick-mode disks it
+// matters more.
+func usableCapacity(fs *core.FS) int64 {
+	segs := fs.NumSegments() - int64(fs.Options().CleanHighWater) - 8
+	if segs < 4 {
+		segs = 4
+	}
+	return segs * fs.SegmentBytes()
+}
+
+// seconds formats a duration as seconds with sensible precision.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+// rate returns events per second for a phase.
+func rate(n int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+// kbPerSec returns bandwidth in kilobytes per second.
+func kbPerSec(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1024 / elapsed.Seconds()
+}

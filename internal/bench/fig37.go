@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cleansim"
+)
+
+// simScale returns the simulator size/steady-state parameters.
+func simScale(cfg Config) cleansim.Config {
+	if cfg.Quick {
+		return cleansim.Config{NumSegments: 96, SegmentBlocks: 64,
+			WarmupWrites: 20, MeasureWrites: 8, Seed: cfg.Seed}
+	}
+	return cleansim.Config{NumSegments: 256, SegmentBlocks: 128,
+		WarmupWrites: 60, MeasureWrites: 20, Seed: cfg.Seed}
+}
+
+func sweepUtils(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0.2, 0.4, 0.6, 0.75, 0.85}
+	}
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9}
+}
+
+// RunFig3 reproduces Figure 3: write cost as a function of the
+// utilization u of the segments cleaned, from formula (1), with the
+// paper's FFS reference points.
+func RunFig3(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig3",
+		Title:   "write cost vs utilization of cleaned segments (formula 1)",
+		Columns: []string{"u", "LFS write cost 2/(1-u)", "FFS today", "FFS improved"},
+	}
+	for _, u := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		t.AddRow(fmt.Sprintf("%.1f", u),
+			fmt.Sprintf("%.2f", cleansim.FormulaWriteCost(u)),
+			fmt.Sprintf("%.0f", cleansim.FFSTodayWriteCost),
+			fmt.Sprintf("%.0f", cleansim.FFSImprovedWriteCost))
+	}
+	t.AddNote("LFS must clean below u=0.8 to beat FFS today, below u=0.5 to beat an improved FFS (Section 3.4)")
+	return t, nil
+}
+
+// RunFig4 reproduces Figure 4: simulated write cost versus overall disk
+// capacity utilization for the no-variance formula, a uniform access
+// pattern with greedy cleaning, and a hot-and-cold pattern with greedy
+// cleaning plus age sort.
+func RunFig4(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "fig4",
+		Title:   "write cost vs disk capacity utilization (initial simulations)",
+		Columns: []string{"disk util", "no variance", "LFS uniform", "LFS hot-and-cold"},
+	}
+	base := simScale(cfg)
+	for _, u := range sweepUtils(cfg) {
+		uni := base
+		uni.DiskUtilization = u
+		ur, err := cleansim.Run(uni)
+		if err != nil {
+			return nil, err
+		}
+		hc := base
+		hc.DiskUtilization = u
+		hc.Pattern = cleansim.HotCold{HotFiles: 0.1, HotAccesses: 0.9}
+		hc.AgeSort = true
+		hr, err := cleansim.Run(hc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", u),
+			fmt.Sprintf("%.2f", cleansim.FormulaWriteCost(u)),
+			fmt.Sprintf("%.2f", ur.WriteCost),
+			fmt.Sprintf("%.2f", hr.WriteCost))
+	}
+	t.AddNote("paper anchor: at 75%% utilization, uniform cleans segments at u≈0.55 (write cost ≈4.4)")
+	t.AddNote("deviation: the paper's hot-and-cold curve lies clearly above uniform at every utilization; ours matches only up to ≈0.8 (see EXPERIMENTS.md)")
+	return t, nil
+}
+
+// histogramRows renders a utilization histogram as coarse table rows.
+func histogramRows(t *Table, label string, hist []float64) {
+	const groups = 10
+	coarse := make([]float64, groups)
+	per := len(hist) / groups
+	for i, v := range hist {
+		g := i / per
+		if g >= groups {
+			g = groups - 1
+		}
+		coarse[g] += v
+	}
+	for g, v := range coarse {
+		bar := ""
+		for i := 0; i < int(v*120); i++ {
+			bar += "#"
+		}
+		t.AddRow(label, fmt.Sprintf("%.1f-%.1f", float64(g)/groups, float64(g+1)/groups),
+			fmt.Sprintf("%.3f", v), bar)
+	}
+}
+
+// RunFig5 reproduces Figure 5: segment utilization distributions under
+// the greedy cleaner, for uniform and hot-and-cold access patterns at 75%
+// disk capacity utilization. Locality skews the distribution toward the
+// utilization at which cleaning occurs.
+func RunFig5(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "fig5",
+		Title:   "segment utilization distribution with greedy cleaner (75% disk utilization)",
+		Columns: []string{"pattern", "utilization bin", "fraction", ""},
+	}
+	base := simScale(cfg)
+	base.DiskUtilization = 0.75
+	ur, err := cleansim.Run(base)
+	if err != nil {
+		return nil, err
+	}
+	histogramRows(t, "uniform", ur.UtilizationHistogram)
+	hc := base
+	hc.Pattern = cleansim.HotCold{HotFiles: 0.1, HotAccesses: 0.9}
+	hc.AgeSort = true
+	hr, err := cleansim.Run(hc)
+	if err != nil {
+		return nil, err
+	}
+	histogramRows(t, "hot-and-cold", hr.UtilizationHistogram)
+	t.AddNote("paper: locality clusters segments just above the cleaning point; cold segments linger there and tie up free blocks")
+	return t, nil
+}
+
+// RunFig6 reproduces Figure 6: the segment utilization distribution with
+// the cost-benefit policy on the hot-and-cold workload, which becomes
+// bimodal: cold segments are cleaned at high utilization, hot segments at
+// low utilization.
+func RunFig6(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "fig6",
+		Title:   "segment utilization distribution with cost-benefit policy (hot-and-cold, 75%)",
+		Columns: []string{"policy", "utilization bin", "fraction", ""},
+	}
+	base := simScale(cfg)
+	base.DiskUtilization = 0.75
+	base.Pattern = cleansim.HotCold{HotFiles: 0.1, HotAccesses: 0.9}
+	base.AgeSort = true
+	cb := base
+	cb.Policy = cleansim.CostBenefit
+	cr, err := cleansim.Run(cb)
+	if err != nil {
+		return nil, err
+	}
+	histogramRows(t, "cost-benefit", cr.UtilizationHistogram)
+	gr, err := cleansim.Run(base)
+	if err != nil {
+		return nil, err
+	}
+	histogramRows(t, "greedy", gr.UtilizationHistogram)
+	t.AddNote(fmt.Sprintf("cost-benefit cleaned segments at avg u=%.2f, greedy at avg u=%.2f", cr.AvgCleanedUtilization, gr.AvgCleanedUtilization))
+	t.AddNote("paper: the bimodal distribution lets cost-benefit clean cold segments around 75%% utilization and hot segments around 15%%")
+	return t, nil
+}
+
+// RunFig7 reproduces Figure 7: write cost of greedy versus cost-benefit
+// cleaning on the hot-and-cold workload across disk utilizations.
+func RunFig7(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "fig7",
+		Title:   "write cost: greedy vs cost-benefit (hot-and-cold pattern)",
+		Columns: []string{"disk util", "no variance", "LFS greedy", "LFS cost-benefit"},
+	}
+	base := simScale(cfg)
+	base.Pattern = cleansim.HotCold{HotFiles: 0.1, HotAccesses: 0.9}
+	base.AgeSort = true
+	for _, u := range sweepUtils(cfg) {
+		g := base
+		g.DiskUtilization = u
+		gr, err := cleansim.Run(g)
+		if err != nil {
+			return nil, err
+		}
+		cb := base
+		cb.DiskUtilization = u
+		cb.Policy = cleansim.CostBenefit
+		cr, err := cleansim.Run(cb)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", u),
+			fmt.Sprintf("%.2f", cleansim.FormulaWriteCost(u)),
+			fmt.Sprintf("%.2f", gr.WriteCost),
+			fmt.Sprintf("%.2f", cr.WriteCost))
+	}
+	t.AddNote("paper: cost-benefit is substantially better than greedy, particularly above 60%% utilization, by up to 50%%")
+	return t, nil
+}

@@ -1,0 +1,80 @@
+// Package bench reproduces every table and figure of the LFS paper's
+// evaluation (Section 5) plus the simulation figures of Section 3, and
+// adds ablations for the design choices called out in DESIGN.md.
+//
+// Each experiment builds the file systems involved on simulated disks,
+// runs the paper's workload, and reports the same rows or series the
+// paper does. All times are simulated disk time plus a simple CPU cost
+// model; none of the results depend on host speed or Go garbage
+// collection.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result, formatted like the paper's tables.
+type Table struct {
+	// ID is the experiment identifier ("fig8", "table2", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, one slice per row.
+	Rows [][]string
+	// Notes hold free-form commentary printed under the table
+	// (paper-vs-measured remarks, substitutions, caveats).
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/layout"
+)
+
+// checkpointLocked performs the paper's two-phase checkpoint
+// (Section 4.1): first write out all modified information to the log —
+// file data, indirect blocks, inodes, then the inode map and segment usage
+// table blocks — and second, write a checkpoint region to one of the two
+// fixed positions on disk, alternating between them.
+func (fs *FS) checkpointLocked() error {
+	fs.cpActive = true
+	defer func() { fs.cpActive = false }()
+
+	// Phase 1a: flush everything that lives above the metadata maps.
+	if err := fs.flushLog(); err != nil {
+		return err
+	}
+
+	// Segments cleaned since the last checkpoint become reusable once
+	// this checkpoint commits; reflect their empty state in the table
+	// now so the checkpointed usage table shows them clean.
+	for _, s := range fs.pendingClean {
+		fs.usage.markClean(s)
+	}
+
+	// The directory operation log written since the last checkpoint is
+	// superseded by this checkpoint: those blocks die now.
+	for _, a := range fs.dirlogAddrs {
+		if err := fs.decLive(a); err != nil {
+			return err
+		}
+	}
+	fs.dirlogAddrs = nil
+
+	// Phase 1b: write the dirty inode map blocks and the whole segment
+	// usage table to the log. Their encoders run after placement, so the
+	// usage table captures its own new location.
+	for _, i := range fs.imap.dirtyBlocks() {
+		i := i
+		fs.stage(stagedBlock{
+			entry: layout.SummaryEntry{Kind: layout.KindImap, Inum: uint32(i)},
+			age:   fs.now(),
+			encode: func() ([]byte, error) {
+				return fs.imap.encodeBlock(i)
+			},
+			placed: func(addr int64) error {
+				old := fs.imap.blockAddr[i]
+				fs.imap.blockAddr[i] = addr
+				if old != layout.NilAddr {
+					return fs.decLive(old)
+				}
+				return nil
+			},
+		})
+	}
+	for i := 0; i < fs.usage.numBlocks(); i++ {
+		i := i
+		fs.stage(stagedBlock{
+			entry: layout.SummaryEntry{Kind: layout.KindSegUsage, Inum: uint32(i)},
+			age:   fs.now(),
+			encode: func() ([]byte, error) {
+				return fs.usage.encodeBlock(i)
+			},
+			placed: func(addr int64) error {
+				old := fs.usage.blockAddr[i]
+				fs.usage.blockAddr[i] = addr
+				if old != layout.NilAddr {
+					return fs.decLive(old)
+				}
+				return nil
+			},
+		})
+	}
+	if err := fs.flushPending(); err != nil {
+		return err
+	}
+	fs.imap.clearDirty()
+
+	// Phase 2: write the checkpoint region. The region's trailer commits
+	// the checkpoint; a torn write leaves the previous region current.
+	fs.cpSeq++
+	cp := &layout.Checkpoint{
+		Seq:        fs.cpSeq,
+		Timestamp:  fs.now(),
+		NextInum:   fs.nextInum,
+		HeadSeg:    fs.head,
+		HeadOffset: uint32(fs.headOff),
+		NextSeg:    fs.nextSeg,
+		WriteSeq:   fs.writeSeq,
+		DirLogSeq:  fs.dirLogSeq,
+		ImapAddrs:  fs.imap.blockAddr,
+		UsageAddrs: fs.usage.blockAddr,
+	}
+	buf, err := cp.Encode(int(fs.sb.CheckpointBlocks))
+	if err != nil {
+		return err
+	}
+	if err := fs.dev.Write(fs.sb.CheckpointAddr[fs.cpWhich], buf); err != nil {
+		return err
+	}
+	fs.cpWhich = 1 - fs.cpWhich
+
+	// The checkpoint is durable: release the cleaned segments for reuse.
+	fs.freeSegs = append(fs.freeSegs, fs.pendingClean...)
+	for _, s := range fs.pendingClean {
+		delete(fs.pendingCleanSet, s)
+	}
+	fs.pendingClean = nil
+	if fs.nextSeg == layout.NilAddr {
+		fs.nextSeg = fs.popFreeSeg()
+	}
+	fs.bytesSinceCp = 0
+	fs.stats.Checkpoints++
+	return nil
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/layout"
+)
+
+// blockLive decides whether the block at addr, described by summary entry
+// e, is still live (Section 3.3): data and indirect blocks are checked
+// first against the uid (inum + version) in the inode map and then against
+// the file's block pointers; metadata blocks are live while the current
+// maps still point at them.
+func (fs *FS) blockLive(e layout.SummaryEntry, addr int64) (bool, error) {
+	switch e.Kind {
+	case layout.KindData:
+		me := fs.imap.get(e.Inum)
+		if !me.Allocated() || me.Version != e.Version {
+			// Fast path: the uid shows the file was deleted or
+			// truncated; no need to examine the inode.
+			return false, nil
+		}
+		mi, err := fs.loadInode(e.Inum)
+		if err != nil {
+			return false, err
+		}
+		cur, err := fs.blockAddr(mi, e.BlockNo)
+		if err != nil {
+			return false, err
+		}
+		return cur == addr, nil
+	case layout.KindIndirect:
+		me := fs.imap.get(e.Inum)
+		if !me.Allocated() || me.Version != e.Version {
+			return false, nil
+		}
+		mi, err := fs.loadInode(e.Inum)
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case e.BlockNo == indRoleSingle:
+			return mi.ino.Indirect == addr, nil
+		case e.BlockNo == indRoleDTop:
+			return mi.ino.DIndir == addr, nil
+		default:
+			i := int(e.BlockNo - indRoleL2Base)
+			if i < 0 || i >= layout.PointersPerBlock || mi.ino.DIndir == layout.NilAddr {
+				return false, nil
+			}
+			if err := fs.loadDTop(mi); err != nil {
+				return false, err
+			}
+			return mi.dindTop[i] == addr, nil
+		}
+	case layout.KindInode:
+		return fs.inoBlockRefs[addr] > 0, nil
+	case layout.KindImap:
+		i := int(e.Inum)
+		return i < len(fs.imap.blockAddr) && fs.imap.blockAddr[i] == addr, nil
+	case layout.KindSegUsage:
+		i := int(e.Inum)
+		return i < len(fs.usage.blockAddr) && fs.usage.blockAddr[i] == addr, nil
+	case layout.KindDirLog:
+		// Directory log blocks matter only for roll-forward from the
+		// last checkpoint. Cleaned segments are not reused until a
+		// checkpoint commits, so the cleaner can always treat them as
+		// dead; they stay live for usage recomputation until then.
+		for _, a := range fs.dirlogAddrs {
+			if a == addr {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: unknown summary kind %d", ErrCorrupt, e.Kind)
+	}
+}
+
+// candidate is a segment considered for cleaning.
+type candidate struct {
+	seg   int64
+	u     float64
+	score float64
+}
+
+// selectCandidates ranks cleanable segments by the configured policy and
+// returns up to CleanBatch of them, best first. Greedy ranks by 1-u;
+// cost-benefit ranks by (1-u)*age/(1+u) (Section 3.6), which lets cold
+// segments be cleaned at much higher utilization than hot ones. If the
+// configured policy cannot assemble a space-feasible batch (cost-benefit
+// can rank old full segments above young empty ones when free space is
+// scarce), selection falls back to greedy, which maximizes reclaimed
+// space per pass.
+func (fs *FS) selectCandidates() []candidate {
+	if cands := fs.selectByPolicy(fs.opts.Policy); cands != nil {
+		return cands
+	}
+	if fs.opts.Policy != PolicyGreedy {
+		return fs.selectByPolicy(PolicyGreedy)
+	}
+	return nil
+}
+
+func (fs *FS) selectByPolicy(policy CleaningPolicy) []candidate {
+	now := fs.now()
+	var cands []candidate
+	for s := int64(0); s < fs.nsegs; s++ {
+		e := fs.usage.get(s)
+		if e.Flags&layout.SegFlagDirty == 0 || e.Flags&layout.SegFlagActive != 0 {
+			continue
+		}
+		if s == fs.head || s == fs.nextSeg || fs.pendingCleanSet[s] {
+			continue
+		}
+		u := fs.usage.utilization(s)
+		if u > 0.999 {
+			continue // cleaning a full segment reclaims nothing
+		}
+		var score float64
+		if policy == PolicyGreedy {
+			score = 1 - u
+		} else {
+			age := float64(1)
+			if now > e.LastWrite {
+				age += float64(now - e.LastWrite)
+			}
+			score = (1 - u) * age / (1 + u)
+		}
+		cands = append(cands, candidate{seg: s, u: u, score: score})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].seg < cands[j].seg
+	})
+	// The copied live data (plus the pass's checkpoint metadata) must fit
+	// in the space that is available right now: evacuated segments only
+	// become reusable after the checkpoint commits. Walk the ranked list
+	// and take the best candidates that fit, up to the batch size. Empty
+	// segments always fit: evacuating them writes nothing. Copying live
+	// data also rewrites the inodes, indirect blocks and inode-map blocks
+	// that point at it; budget a conservative 25% on top of the data plus
+	// a fixed floor for the checkpoint itself.
+	avail := (fs.segBlocks - fs.headOff) * layout.BlockSize
+	avail += int64(len(fs.freeSegs)) * fs.segBytes
+	if fs.nextSeg != layout.NilAddr {
+		avail += fs.segBytes
+	}
+	metaFloor := fs.checkpointBytes() + 16*layout.BlockSize
+	var live int64
+	var kept []candidate
+	for _, c := range cands {
+		if len(kept) >= fs.opts.CleanBatch {
+			break
+		}
+		l := int64(fs.usage.get(c.seg).LiveBytes)
+		if l > 0 && live+l+(live+l)/4+metaFloor > avail {
+			continue
+		}
+		live += l
+		kept = append(kept, c)
+	}
+	cands = kept
+	// Progress guard: the batch must free at least one whole segment
+	// beyond the space its live data consumes.
+	liveSegs := (live + fs.segBytes - 1) / fs.segBytes
+	if int64(len(cands))-liveSegs < 1 {
+		return nil
+	}
+	return cands
+}
+
+// cleanUntil runs cleaning passes until at least target clean segments
+// are available or no further progress is possible. Evacuated segments
+// become reusable only after a checkpoint commits (reusing them earlier
+// could destroy blocks the previous checkpoint still references); the
+// checkpoint is amortized over several passes, since its metadata write
+// is a fixed cost per pass otherwise.
+func (fs *FS) cleanUntil(target int) error {
+	if fs.inCleaner {
+		return nil
+	}
+	// Flush application traffic first so it is not attributed to the
+	// cleaner.
+	if err := fs.flushLog(); err != nil {
+		return err
+	}
+	fs.inCleaner = true
+	defer func() { fs.inCleaner = false }()
+	for len(fs.freeSegs) < target {
+		cands := fs.selectCandidates()
+		if len(cands) == 0 {
+			if len(fs.pendingClean) > 0 {
+				// Release the evacuated segments; that may open up
+				// enough output space to keep cleaning.
+				if err := fs.checkpointLocked(); err != nil {
+					return err
+				}
+				continue
+			}
+			if len(fs.freeSegs) == 0 && fs.nextSeg == layout.NilAddr {
+				return ErrNoSpace
+			}
+			return nil
+		}
+		if err := fs.cleanPass(cands); err != nil {
+			return err
+		}
+		enough := len(fs.freeSegs)+len(fs.pendingClean) >= target
+		// Release early enough that the checkpoint's own metadata write
+		// (which can be large: every inode-map block the pass dirtied)
+		// still fits in the remaining space.
+		cpSegs := int(fs.checkpointBytes()/fs.segBytes) + 1
+		lowSpace := len(fs.freeSegs) < reserveSegments+1+cpSegs
+		if (enough || lowSpace) && len(fs.pendingClean) > 0 {
+			if err := fs.checkpointLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkpointBytes estimates the log volume the next checkpoint will
+// write: the dirty inode-map blocks plus the whole usage table.
+func (fs *FS) checkpointBytes() int64 {
+	n := len(fs.imap.dirty) + fs.usage.numBlocks() + int(fs.sb.CheckpointBlocks)
+	return int64(n+4) * layout.BlockSize
+}
+
+// cleanPass evacuates one batch of segments: read them, copy the live
+// data to the head of the log (age-sorted), and queue the segments for
+// release at the next checkpoint (Section 3.3).
+func (fs *FS) cleanPass(cands []candidate) error {
+	fs.stats.CleaningPasses++
+	for _, c := range cands {
+		fs.stats.SegmentsCleaned++
+		if fs.usage.get(c.seg).LiveBytes == 0 {
+			// An empty segment need not be read at all (Section 3.4:
+			// write cost 1.0 when u = 0).
+			fs.stats.SegmentsCleanedEmpty++
+		} else {
+			fs.stats.CleanedUtilSum += c.u
+			if err := fs.cleanSegment(c.seg); err != nil {
+				return err
+			}
+		}
+		fs.pendingClean = append(fs.pendingClean, c.seg)
+		fs.pendingCleanSet[c.seg] = true
+	}
+	// Write the copied live data (and the metadata it dirtied) to the log.
+	return fs.flushLog()
+}
+
+// liveCopy is a live data block collected from a segment being cleaned.
+type liveCopy struct {
+	entry layout.SummaryEntry
+	data  []byte
+	age   uint64
+	inum  uint32
+	bn    uint32
+}
+
+// cleanSegment identifies one segment's live blocks and stages them for
+// rewriting at the head of the log. Live data blocks are age-sorted
+// before staging so that cold data segregates from hot data (Section 3.4,
+// policy 4); live metadata is re-dirtied so the normal write path repacks
+// it. By default the whole segment is read in one request (the paper's
+// conservative assumption in formula 1); with CleanReadLiveOnly only the
+// summary blocks and live contents are read.
+func (fs *FS) cleanSegment(seg int64) error {
+	var lives []liveCopy
+	var err error
+	if fs.opts.CleanReadLiveOnly {
+		lives, err = fs.collectLiveSparse(seg)
+	} else {
+		lives, err = fs.collectLiveFull(seg)
+	}
+	if err != nil {
+		return err
+	}
+	// Age sort: group blocks of similar age together, oldest first, so
+	// cold data segregates into its own output segments.
+	if !fs.opts.NoAgeSort {
+		sort.SliceStable(lives, func(i, j int) bool { return lives[i].age < lives[j].age })
+	}
+	return fs.stageLiveCopies(lives)
+}
+
+// collectLiveFull reads the whole segment in a single request and
+// extracts its live blocks.
+func (fs *FS) collectLiveFull(seg int64) ([]liveCopy, error) {
+	start := fs.segStart(seg)
+	buf := make([]byte, fs.segBytes)
+	if err := fs.dev.Read(start, buf); err != nil {
+		return nil, err
+	}
+	fs.stats.CleanerReadBytes += fs.segBytes
+
+	var lives []liveCopy
+	off := int64(0)
+	for off <= fs.segBlocks-2 {
+		s, err := layout.DecodeSummary(buf[off*layout.BlockSize : (off+1)*layout.BlockSize])
+		if err != nil {
+			break // end of the summary chain
+		}
+		n := int64(len(s.Entries))
+		if n == 0 || off+1+n > fs.segBlocks {
+			break
+		}
+		for i, e := range s.Entries {
+			addr := start + off + 1 + int64(i)
+			block := buf[(off+1+int64(i))*layout.BlockSize : (off+2+int64(i))*layout.BlockSize]
+			added, err := fs.handleLiveEntry(e, addr, block)
+			if err != nil {
+				return nil, err
+			}
+			if added != nil {
+				lives = append(lives, *added)
+			}
+		}
+		off += 1 + n
+	}
+	return lives, nil
+}
+
+// collectLiveSparse walks the segment's summary chain reading only the
+// summary blocks, decides liveness from the summaries and the current
+// maps, and then reads just the live blocks (coalescing contiguous runs
+// into single requests) — the optimization Section 3.4 conjectures.
+func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
+	start := fs.segStart(seg)
+	type want struct {
+		e    layout.SummaryEntry
+		addr int64
+	}
+	var wants []want
+	off := int64(0)
+	for off <= fs.segBlocks-2 {
+		sumBuf, err := fs.dev.ReadBlock(start + off)
+		if err != nil {
+			return nil, err
+		}
+		fs.stats.CleanerReadBytes += layout.BlockSize
+		s, err := layout.DecodeSummary(sumBuf)
+		if err != nil {
+			break
+		}
+		n := int64(len(s.Entries))
+		if n == 0 || off+1+n > fs.segBlocks {
+			break
+		}
+		for i, e := range s.Entries {
+			addr := start + off + 1 + int64(i)
+			live, err := fs.blockLive(e, addr)
+			if err != nil {
+				return nil, err
+			}
+			if !live {
+				continue
+			}
+			switch e.Kind {
+			case layout.KindData, layout.KindInode:
+				// Content needed: data is copied, inode blocks are
+				// parsed for their live inodes.
+				wants = append(wants, want{e, addr})
+			default:
+				// Indirect/imap/usage/dirlog need no content.
+				if _, err := fs.handleLiveEntry(e, addr, nil); err != nil {
+					return nil, err
+				}
+			}
+		}
+		off += 1 + n
+	}
+
+	// Read the wanted blocks, coalescing contiguous runs.
+	var lives []liveCopy
+	for i := 0; i < len(wants); {
+		j := i + 1
+		for j < len(wants) && wants[j].addr == wants[j-1].addr+1 {
+			j++
+		}
+		run := wants[i:j]
+		buf := make([]byte, int64(len(run))*layout.BlockSize)
+		if err := fs.dev.Read(run[0].addr, buf); err != nil {
+			return nil, err
+		}
+		fs.stats.CleanerReadBytes += int64(len(buf))
+		for k, w := range run {
+			block := buf[k*layout.BlockSize : (k+1)*layout.BlockSize]
+			added, err := fs.handleLiveEntry(w.e, w.addr, block)
+			if err != nil {
+				return nil, err
+			}
+			if added != nil {
+				lives = append(lives, *added)
+			}
+		}
+		i = j
+	}
+	return lives, nil
+}
+
+// handleLiveEntry processes one block of a segment being cleaned. It
+// assumes content is non-nil for kinds that need it, returns a liveCopy
+// for data blocks that must be rewritten, and re-dirties live metadata so
+// the normal write path repacks it. Dead blocks are ignored (liveness is
+// re-checked here so collectLiveFull need not pre-filter).
+func (fs *FS) handleLiveEntry(e layout.SummaryEntry, addr int64, block []byte) (*liveCopy, error) {
+	live, err := fs.blockLive(e, addr)
+	if err != nil {
+		return nil, err
+	}
+	if !live {
+		return nil, nil
+	}
+	switch e.Kind {
+	case layout.KindData:
+		age := e.Age
+		if fs.opts.CoarseAgeSort || age == 0 {
+			// Sprite's original behaviour: a single modified time for
+			// the whole file (Section 3.6 notes this is inaccurate for
+			// files that are not modified in their entirety).
+			mi, err := fs.loadInode(e.Inum)
+			if err != nil {
+				return nil, err
+			}
+			age = mi.ino.Mtime
+		}
+		data := make([]byte, layout.BlockSize)
+		copy(data, block)
+		return &liveCopy{entry: e, data: data, age: age, inum: e.Inum, bn: e.BlockNo}, nil
+	case layout.KindIndirect:
+		// Re-dirty the in-memory structure; the normal write path
+		// rewrites it with current contents.
+		mi, err := fs.loadInode(e.Inum)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case e.BlockNo == indRoleSingle:
+			if err := fs.loadIndirect(mi); err != nil {
+				return nil, err
+			}
+			mi.indDirty = true
+		case e.BlockNo == indRoleDTop:
+			if err := fs.loadDTop(mi); err != nil {
+				return nil, err
+			}
+			mi.dindTopDirty = true
+		default:
+			i := int(e.BlockNo - indRoleL2Base)
+			if _, err := fs.loadL2(mi, i); err != nil {
+				return nil, err
+			}
+			mi.dindL2Dirty[i] = true
+			mi.dindTopDirty = true
+		}
+		fs.markInodeDirty(e.Inum)
+	case layout.KindInode:
+		inodes, err := layout.DecodeInodeBlock(block)
+		if err != nil {
+			return nil, fmt.Errorf("cleaning block %d: %w", addr, err)
+		}
+		for slot, ino := range inodes {
+			me := fs.imap.get(ino.Inum)
+			if me.Allocated() && me.Addr == addr && int(me.Slot) == slot {
+				if _, ok := fs.icache[ino.Inum]; !ok {
+					fs.icache[ino.Inum] = newMInode(ino)
+				}
+				fs.markInodeDirty(ino.Inum)
+			}
+		}
+	case layout.KindImap:
+		fs.imap.markDirty(int(e.Inum))
+	case layout.KindSegUsage, layout.KindDirLog:
+		// The usage table is rewritten in full at the pass's checkpoint;
+		// live dirlog blocks die at the same checkpoint. Nothing to copy.
+	}
+	return nil, nil
+}
+
+// stageLiveCopies queues the collected live data blocks for rewriting at
+// the head of the log, updating each file's block map at placement time.
+func (fs *FS) stageLiveCopies(lives []liveCopy) error {
+	for _, lc := range lives {
+		mi, err := fs.loadInode(lc.inum)
+		if err != nil {
+			return err
+		}
+		if err := fs.ensureMapSlot(mi, lc.bn); err != nil {
+			return err
+		}
+		fs.markInodeDirty(lc.inum)
+		lc := lc
+		fs.stage(stagedBlock{
+			entry: lc.entry,
+			data:  lc.data,
+			age:   lc.age,
+			placed: func(addr int64) error {
+				old, err := fs.setBlockAddr(mi, lc.bn, addr)
+				if err != nil {
+					return err
+				}
+				if old != layout.NilAddr {
+					return fs.decLive(old)
+				}
+				return nil
+			},
+		})
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package core
+
+import "errors"
+
+// Errors returned by file system operations.
+var (
+	// ErrNotFound reports that a path component does not exist.
+	ErrNotFound = errors.New("lfs: file not found")
+	// ErrExists reports that a path already exists.
+	ErrExists = errors.New("lfs: file exists")
+	// ErrNotDir reports that a path component is not a directory.
+	ErrNotDir = errors.New("lfs: not a directory")
+	// ErrIsDir reports a file operation applied to a directory.
+	ErrIsDir = errors.New("lfs: is a directory")
+	// ErrNotEmpty reports removal of a non-empty directory.
+	ErrNotEmpty = errors.New("lfs: directory not empty")
+	// ErrNoSpace reports that no clean segments remain even after cleaning.
+	ErrNoSpace = errors.New("lfs: no space left on device")
+	// ErrNoInodes reports that the inode table is exhausted.
+	ErrNoInodes = errors.New("lfs: out of inodes")
+	// ErrFileTooBig reports a write beyond the maximum file size.
+	ErrFileTooBig = errors.New("lfs: file too large")
+	// ErrUnmounted reports an operation on an unmounted file system.
+	ErrUnmounted = errors.New("lfs: file system is unmounted")
+	// ErrNoCheckpoint reports that neither checkpoint region is valid.
+	ErrNoCheckpoint = errors.New("lfs: no valid checkpoint region")
+	// ErrBadPath reports a malformed path.
+	ErrBadPath = errors.New("lfs: bad path")
+	// ErrCorrupt reports an on-disk structure that failed validation.
+	ErrCorrupt = errors.New("lfs: corrupt file system structure")
+)

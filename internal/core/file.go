@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// readFileBlock returns the contents of file block bn, consulting the
+// dirty file cache first, then the read cache, then the device. Holes
+// read as zeros.
+func (fs *FS) readFileBlock(mi *mInode, bn uint32) ([]byte, error) {
+	if b, ok := fs.dcache[blockKey{mi.ino.Inum, bn}]; ok {
+		return b, nil
+	}
+	addr, err := fs.blockAddr(mi, bn)
+	if err != nil {
+		return nil, err
+	}
+	if addr == layout.NilAddr {
+		return make([]byte, layout.BlockSize), nil
+	}
+	return fs.readDiskBlock(addr)
+}
+
+// readAt reads up to len(buf) bytes from the file at off, returning how
+// many bytes were read. Reads past end of file return 0.
+func (fs *FS) readAt(mi *mInode, off int64, buf []byte) (int, error) {
+	size := int64(mi.ino.Size)
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset", ErrBadPath)
+	}
+	if off >= size {
+		return 0, nil
+	}
+	if rem := size - off; int64(len(buf)) > rem {
+		buf = buf[:rem]
+	}
+	total := 0
+	for len(buf) > 0 {
+		bn := uint32(off / layout.BlockSize)
+		inBlock := int(off % layout.BlockSize)
+		inum := mi.ino.Inum
+		if blk, ok := fs.dcache[blockKey{inum, bn}]; ok {
+			n := copy(buf, blk[inBlock:])
+			buf, off, total = buf[n:], off+int64(n), total+n
+			continue
+		}
+		addr, err := fs.blockAddr(mi, bn)
+		if err != nil {
+			return total, err
+		}
+		if addr == layout.NilAddr {
+			n := layout.BlockSize - inBlock
+			if n > len(buf) {
+				n = len(buf)
+			}
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+			buf, off, total = buf[n:], off+int64(n), total+n
+			continue
+		}
+		// Coalesce a run of blocks that are contiguous on disk into one
+		// device request. Files written sequentially are packed
+		// contiguously in the log, so sequential reads of them run at
+		// near-full bandwidth.
+		maxRun := (inBlock + len(buf) + layout.BlockSize - 1) / layout.BlockSize
+		run := 1
+		if fs.rcache == nil {
+			for run < maxRun {
+				nb := bn + uint32(run)
+				if _, dirty := fs.dcache[blockKey{inum, nb}]; dirty {
+					break
+				}
+				a2, err := fs.blockAddr(mi, nb)
+				if err != nil || a2 != addr+int64(run) {
+					break
+				}
+				run++
+			}
+		}
+		var n int
+		if run == 1 {
+			blk, err := fs.readDiskBlock(addr)
+			if err != nil {
+				return total, err
+			}
+			n = copy(buf, blk[inBlock:])
+		} else {
+			big := make([]byte, run*layout.BlockSize)
+			if err := fs.dev.Read(addr, big); err != nil {
+				return total, err
+			}
+			n = copy(buf, big[inBlock:])
+		}
+		buf, off, total = buf[n:], off+int64(n), total+n
+	}
+	return total, nil
+}
+
+// writeAt writes data into the file at off, extending it as needed. The
+// modification is buffered in the file cache; a log flush happens when the
+// write buffer fills (the paper's asynchronous write behaviour).
+func (fs *FS) writeAt(mi *mInode, off int64, data []byte) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset", ErrBadPath)
+	}
+	end := off + int64(len(data))
+	if end > int64(layout.MaxFileBlocks)*layout.BlockSize {
+		return 0, ErrFileTooBig
+	}
+	inum := mi.ino.Inum
+	total := 0
+	for len(data) > 0 {
+		bn := uint32(off / layout.BlockSize)
+		inBlock := int(off % layout.BlockSize)
+		n := layout.BlockSize - inBlock
+		if n > len(data) {
+			n = len(data)
+		}
+		key := blockKey{inum, bn}
+		blk, dirty := fs.dcache[key]
+		if !dirty {
+			// Read-modify-write for partial blocks that already exist.
+			var err error
+			if inBlock != 0 || n != layout.BlockSize {
+				blk, err = fs.readFileBlock(mi, bn)
+				if err != nil {
+					return total, err
+				}
+				cp := make([]byte, layout.BlockSize)
+				copy(cp, blk)
+				blk = cp
+			} else {
+				blk = make([]byte, layout.BlockSize)
+			}
+			fs.dcache[key] = blk
+			fs.dirtyBlocks++
+			// Materialize the indirect path now so placement at flush
+			// time needs no allocation or I/O.
+			if err := fs.ensureMapSlot(mi, bn); err != nil {
+				return total, err
+			}
+		}
+		copy(blk[inBlock:], data[:n])
+		data = data[n:]
+		off += int64(n)
+		total += n
+	}
+	if uint64(end) > mi.ino.Size {
+		mi.ino.Size = uint64(end)
+	}
+	mi.ino.Mtime = fs.now()
+	fs.markInodeDirty(inum)
+	if fs.dirtyBlocks >= fs.opts.WriteBufferBlocks {
+		if err := fs.flushLog(); err != nil {
+			return total, err
+		}
+		// A single large write can span many buffer flushes; keep the
+		// clean-segment pool topped up between them, not just at the
+		// end of the operation.
+		if err := fs.epilogue(); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// markInodeDirty queues the inode for the next log write and dirties its
+// covering inode-map block (the map entry will change when the inode is
+// placed).
+func (fs *FS) markInodeDirty(inum uint32) {
+	fs.dirtyInodes[inum] = true
+	fs.imap.markDirty(fs.imap.blockOf(inum))
+}
+
+// truncate shrinks or extends the file to size bytes.
+func (fs *FS) truncate(mi *mInode, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("%w: negative size", ErrBadPath)
+	}
+	if size > int64(layout.MaxFileBlocks)*layout.BlockSize {
+		return ErrFileTooBig
+	}
+	old := int64(mi.ino.Size)
+	inum := mi.ino.Inum
+	if size < old {
+		keep := uint32((size + layout.BlockSize - 1) / layout.BlockSize)
+		if err := fs.dropBlocksFrom(mi, keep); err != nil {
+			return err
+		}
+		// Unlike Sprite LFS we do not bump the version here: the version
+		// doubles as the incarnation uid that directory-operation-log
+		// replay matches against, and truncation must not change the
+		// file's identity. Truncated blocks are still detected as dead
+		// by the block-pointer liveness check.
+		if size != 0 && size%layout.BlockSize != 0 {
+			// Zero the tail of the new last block so that a later
+			// extension reads zeros, not stale bytes.
+			bn := uint32(size / layout.BlockSize)
+			key := blockKey{inum, bn}
+			blk, dirty := fs.dcache[key]
+			if !dirty {
+				src, err := fs.readFileBlock(mi, bn)
+				if err != nil {
+					return err
+				}
+				blk = make([]byte, layout.BlockSize)
+				copy(blk, src)
+				fs.dcache[key] = blk
+				fs.dirtyBlocks++
+				if err := fs.ensureMapSlot(mi, bn); err != nil {
+					return err
+				}
+			}
+			for i := size % layout.BlockSize; i < layout.BlockSize; i++ {
+				blk[i] = 0
+			}
+		}
+	}
+	mi.ino.Size = uint64(size)
+	mi.ino.Mtime = fs.now()
+	fs.markInodeDirty(inum)
+	return nil
+}
+
+// dropBlocksFrom releases every data block with index >= keep, plus any
+// indirect blocks that become empty.
+func (fs *FS) dropBlocksFrom(mi *mInode, keep uint32) error {
+	inum := mi.ino.Inum
+	// Dirty cache blocks beyond the cut simply vanish.
+	for k := range fs.dcache {
+		if k.inum == inum && k.bn >= keep {
+			delete(fs.dcache, k)
+			fs.dirtyBlocks--
+		}
+	}
+	var drop []uint32
+	err := fs.forEachBlockAddr(mi, func(bn uint32, addr int64) error {
+		if bn >= keep {
+			drop = append(drop, bn)
+			return fs.decLive(addr)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, bn := range drop {
+		if err := fs.ensureMapSlot(mi, bn); err != nil {
+			return err
+		}
+		if _, err := fs.setBlockAddr(mi, bn, layout.NilAddr); err != nil {
+			return err
+		}
+	}
+	// Release indirect blocks that are now entirely unused.
+	if keep <= firstIndirect && (mi.ino.Indirect != layout.NilAddr || mi.indLoaded) {
+		if mi.ino.Indirect != layout.NilAddr {
+			if err := fs.decLive(mi.ino.Indirect); err != nil {
+				return err
+			}
+		}
+		mi.ino.Indirect = layout.NilAddr
+		mi.ind = nil
+		mi.indLoaded = false
+		mi.indDirty = false
+	}
+	if keep <= firstDIndirect && (mi.ino.DIndir != layout.NilAddr || mi.dindTopLoaded) {
+		if mi.ino.DIndir != layout.NilAddr {
+			if err := fs.loadDTop(mi); err != nil {
+				return err
+			}
+			for _, a := range mi.dindTop {
+				if a != layout.NilAddr {
+					if err := fs.decLive(a); err != nil {
+						return err
+					}
+				}
+			}
+			if err := fs.decLive(mi.ino.DIndir); err != nil {
+				return err
+			}
+		}
+		mi.ino.DIndir = layout.NilAddr
+		mi.dindTop = nil
+		mi.dindTopLoaded = false
+		mi.dindTopDirty = false
+		mi.dindL2 = make(map[int][]int64)
+		mi.dindL2Dirty = make(map[int]bool)
+	} else if keep > firstDIndirect {
+		// Partial double-indirect truncation: release empty level-2
+		// blocks past the cut.
+		relKeep := int(keep - firstDIndirect)
+		firstLiveL2 := (relKeep + layout.PointersPerBlock - 1) / layout.PointersPerBlock
+		if mi.ino.DIndir != layout.NilAddr || mi.dindTopLoaded {
+			if err := fs.loadDTop(mi); err != nil {
+				return err
+			}
+			for i := firstLiveL2; i < layout.PointersPerBlock; i++ {
+				if a := mi.dindTop[i]; a != layout.NilAddr {
+					if err := fs.decLive(a); err != nil {
+						return err
+					}
+					mi.dindTop[i] = layout.NilAddr
+					mi.dindTopDirty = true
+				}
+				delete(mi.dindL2, i)
+				delete(mi.dindL2Dirty, i)
+			}
+		}
+	}
+	return nil
+}
+
+// removeFile releases every block of the file, frees its inode, and bumps
+// the version so stale log blocks are recognizably dead (Section 3.3).
+func (fs *FS) removeFile(inum uint32) error {
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		return err
+	}
+	if err := fs.dropBlocksFrom(mi, 0); err != nil {
+		return err
+	}
+	e := fs.imap.get(inum)
+	if err := fs.decInoBlockRef(e.Addr); err != nil {
+		return err
+	}
+	fs.imap.setVersion(inum, e.Version+1)
+	fs.imap.free(inum)
+	delete(fs.icache, inum)
+	delete(fs.dirtyInodes, inum)
+	delete(fs.dirCache, inum)
+	delete(fs.dirBytes, inum)
+	fs.freeInums = append(fs.freeInums, inum)
+	fs.stats.FilesDeleted++
+	return nil
+}

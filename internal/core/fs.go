@@ -1,0 +1,430 @@
+// Package core implements the log-structured file system described in
+// Rosenblum & Ousterhout, "The Design and Implementation of a
+// Log-Structured File System" (SOSP 1991).
+//
+// The file system buffers modifications in a file cache and writes them to
+// disk sequentially in large segment-sized log writes. The log is the only
+// structure on disk: it contains file data, indirect blocks, inodes, inode
+// map blocks, segment usage table blocks, and a directory operation log.
+// A segment cleaner regenerates large free extents by compacting the live
+// data out of fragmented segments, using the paper's cost-benefit policy
+// by default. Crash recovery combines checkpoints with roll-forward.
+//
+// The package operates on the simulated block device in internal/disk; all
+// performance numbers derived from it are in simulated disk time.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/layout"
+)
+
+// RootInum is the inode number of the root directory.
+const RootInum uint32 = 1
+
+type blockKey struct {
+	inum uint32
+	bn   uint32
+}
+
+// FS is a mounted log-structured file system. All methods are safe for
+// concurrent use by multiple goroutines.
+type FS struct {
+	mu   sync.Mutex
+	dev  *disk.Disk
+	opts Options
+	sb   *layout.Superblock
+
+	segBlocks int64 // blocks per segment
+	segBytes  int64
+	nsegs     int64
+	segBase   int64
+
+	imap  *inodeMap
+	usage *usageTable
+
+	// File cache: dirty data blocks awaiting the next log write.
+	dcache map[blockKey][]byte
+	// Read cache for clean blocks (bounded FIFO; optional).
+	rcache     map[int64][]byte
+	rcacheFifo []int64
+
+	icache      map[uint32]*mInode
+	dirtyInodes map[uint32]bool
+	dirCache    map[uint32][]layout.DirEntry
+	// dirBytes remembers each directory's last written byte image so
+	// saveDir can write only the changed blocks.
+	dirBytes map[uint32][]byte
+
+	pendingOps  []*layout.DirOp // directory operation log awaiting flush
+	dirlogAddrs []int64         // dirlog blocks written since last checkpoint
+	pending     []stagedBlock   // blocks staged for the next log write
+
+	head     int64 // current log-head segment
+	headOff  int64 // blocks used in the head segment
+	nextSeg  int64 // pre-selected next log segment (NilAddr if none)
+	freeSegs []int64
+	// pendingClean segments have been cleaned but must not be reused
+	// until the next checkpoint commits their new state (otherwise a
+	// crash could destroy blocks the previous checkpoint still needs).
+	pendingClean    []int64
+	pendingCleanSet map[int64]bool
+
+	inoBlockRefs map[int64]int // live inodes per packed inode block
+
+	writeSeq  uint64
+	dirLogSeq uint64
+	cpSeq     uint64
+	cpWhich   int
+	nextInum  uint32
+	freeInums []uint32
+
+	ticks        uint64
+	bytesSinceCp int64
+	dirtyBlocks  int
+	inCleaner    bool
+	inRecovery   bool
+	cpActive     bool
+	nvReplaying  bool
+	// recomputeSegs marks segments whose usage will be recomputed from
+	// scratch during recovery; decrements against them are suppressed.
+	recomputeSegs map[int64]bool
+
+	stats   Stats
+	mounted bool
+}
+
+// Format initializes a log-structured file system on dev and returns it
+// mounted. The previous contents of the device are ignored.
+func Format(dev *disk.Disk, opts Options) (*FS, error) {
+	opts = opts.withDefaults()
+	if dev.BlockSize() != layout.BlockSize {
+		return nil, fmt.Errorf("lfs: device block size %d, want %d", dev.BlockSize(), layout.BlockSize)
+	}
+	imapBlocks := (opts.MaxInodes + layout.ImapEntriesPerBlock - 1) / layout.ImapEntriesPerBlock
+
+	// The number of segments depends on where the segment area starts,
+	// which depends on the checkpoint region size, which depends on the
+	// number of usage blocks, which depends on the number of segments.
+	// Iterate to a fixed point (converges immediately in practice).
+	segBase := int64(1)
+	var nsegs int64
+	var cpBlocks int
+	for i := 0; i < 4; i++ {
+		nsegs = (dev.NumBlocks() - segBase) / int64(opts.SegmentBlocks)
+		usageBlocks := (int(nsegs) + layout.SegUsagePerBlock - 1) / layout.SegUsagePerBlock
+		cpBlocks = layout.CheckpointBlocksNeeded(imapBlocks, usageBlocks)
+		segBase = 1 + 2*int64(cpBlocks)
+	}
+	if nsegs < 4 {
+		return nil, fmt.Errorf("lfs: device too small: %d segments", nsegs)
+	}
+	sb := &layout.Superblock{
+		Version:          1,
+		BlockSize:        layout.BlockSize,
+		SegmentBlocks:    uint32(opts.SegmentBlocks),
+		NumSegments:      uint32(nsegs),
+		SegmentBase:      segBase,
+		CheckpointAddr:   [2]int64{1, 1 + int64(cpBlocks)},
+		CheckpointBlocks: uint32(cpBlocks),
+		MaxInodes:        uint32(opts.MaxInodes),
+	}
+	if err := dev.WriteBlock(0, sb.Encode()); err != nil {
+		return nil, err
+	}
+
+	fs := newFS(dev, opts, sb)
+	fs.head = 0
+	fs.headOff = 0
+	fs.nextSeg = 1
+	for s := int64(2); s < fs.nsegs; s++ {
+		fs.freeSegs = append(fs.freeSegs, s)
+	}
+	fs.usage.setActive(fs.head, true)
+	fs.nextInum = RootInum + 1
+
+	// Create the root directory.
+	root := newMInode(layout.NewInode(RootInum, layout.FileTypeDir))
+	root.ino.Version = 1
+	fs.icache[RootInum] = root
+	fs.dirtyInodes[RootInum] = true
+	fs.imap.setVersion(RootInum, 1)
+	fs.dirCache[RootInum] = nil
+	fs.mounted = true
+	if err := fs.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func newFS(dev *disk.Disk, opts Options, sb *layout.Superblock) *FS {
+	segBlocks := int64(sb.SegmentBlocks)
+	nsegs := int64(sb.NumSegments)
+	fs := &FS{
+		dev:             dev,
+		opts:            opts,
+		sb:              sb,
+		segBlocks:       segBlocks,
+		segBytes:        segBlocks * layout.BlockSize,
+		nsegs:           nsegs,
+		segBase:         sb.SegmentBase,
+		imap:            newInodeMap(int(sb.MaxInodes)),
+		usage:           newUsageTable(int(nsegs), segBlocks*layout.BlockSize),
+		dcache:          make(map[blockKey][]byte),
+		icache:          make(map[uint32]*mInode),
+		dirtyInodes:     make(map[uint32]bool),
+		dirCache:        make(map[uint32][]layout.DirEntry),
+		dirBytes:        make(map[uint32][]byte),
+		inoBlockRefs:    make(map[int64]int),
+		pendingCleanSet: make(map[int64]bool),
+		nextSeg:         layout.NilAddr,
+	}
+	if opts.ReadCacheBlocks > 0 {
+		fs.rcache = make(map[int64][]byte)
+	}
+	return fs
+}
+
+// Options returns the effective options the file system is running with.
+func (fs *FS) Options() Options { return fs.opts }
+
+// Superblock returns a copy of the on-disk superblock.
+func (fs *FS) Superblock() layout.Superblock { return *fs.sb }
+
+// NumSegments returns the number of log segments.
+func (fs *FS) NumSegments() int64 { return fs.nsegs }
+
+// SegmentBytes returns the segment size in bytes.
+func (fs *FS) SegmentBytes() int64 { return fs.segBytes }
+
+// Stats returns a snapshot of the accumulated file system statistics.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (fs *FS) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = Stats{}
+}
+
+// CleanSegments returns how many segments are immediately available for
+// new log writes.
+func (fs *FS) CleanSegments() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.freeSegs)
+}
+
+// SegmentUtilizations returns the live-byte fraction of every segment, in
+// segment order. It is the data behind Figures 5, 6 and 10.
+func (fs *FS) SegmentUtilizations() []float64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]float64, fs.nsegs)
+	for s := int64(0); s < fs.nsegs; s++ {
+		out[s] = fs.usage.utilization(s)
+	}
+	return out
+}
+
+// DiskCapacityUtilization returns the fraction of the segment area
+// occupied by live data.
+func (fs *FS) DiskCapacityUtilization() float64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var live int64
+	for s := int64(0); s < fs.nsegs; s++ {
+		live += int64(fs.usage.get(s).LiveBytes)
+	}
+	return float64(live) / float64(fs.nsegs*fs.segBytes)
+}
+
+// now returns the logical time used for mtimes and cleaning ages.
+func (fs *FS) now() uint64 {
+	if fs.opts.Clock != nil {
+		return fs.opts.Clock()
+	}
+	return fs.ticks
+}
+
+// tick advances the internal logical clock; called once per public
+// mutating operation.
+func (fs *FS) tick() {
+	fs.ticks++
+}
+
+func (fs *FS) segOf(addr int64) int64   { return (addr - fs.segBase) / fs.segBlocks }
+func (fs *FS) segStart(seg int64) int64 { return fs.segBase + seg*fs.segBlocks }
+
+// decLive records the death of the block at addr. Decrements against
+// segments that are already clean (or queued for recompute during
+// recovery) are suppressed.
+func (fs *FS) decLive(addr int64) error {
+	seg := fs.segOf(addr)
+	if seg < 0 || seg >= fs.nsegs {
+		return fmt.Errorf("%w: block address %d outside segment area", ErrCorrupt, addr)
+	}
+	if fs.pendingCleanSet[seg] || fs.usage.isClean(seg) {
+		return nil
+	}
+	if fs.recomputeSegs[seg] {
+		return nil
+	}
+	return fs.usage.addLive(seg, -layout.BlockSize)
+}
+
+// decInoBlockRef drops one inode reference on the packed inode block at
+// addr, releasing the block when the last inode leaves it.
+func (fs *FS) decInoBlockRef(addr int64) error {
+	if addr == layout.NilAddr {
+		return nil
+	}
+	n := fs.inoBlockRefs[addr] - 1
+	if n < 0 {
+		return fmt.Errorf("%w: inode block %d ref underflow", ErrCorrupt, addr)
+	}
+	if n == 0 {
+		delete(fs.inoBlockRefs, addr)
+		return fs.decLive(addr)
+	}
+	fs.inoBlockRefs[addr] = n
+	return nil
+}
+
+// readMetaBlock reads a metadata block (inode, indirect) through the read
+// cache if one is configured.
+func (fs *FS) readMetaBlock(addr int64) ([]byte, error) {
+	return fs.readDiskBlock(addr)
+}
+
+func (fs *FS) readDiskBlock(addr int64) ([]byte, error) {
+	if fs.rcache != nil {
+		if b, ok := fs.rcache[addr]; ok {
+			return b, nil
+		}
+	}
+	buf, err := fs.dev.ReadBlock(addr)
+	if err != nil {
+		return nil, err
+	}
+	fs.cacheBlock(addr, buf)
+	return buf, nil
+}
+
+func (fs *FS) cacheBlock(addr int64, buf []byte) {
+	if fs.rcache == nil {
+		return
+	}
+	if _, ok := fs.rcache[addr]; ok {
+		fs.rcache[addr] = buf
+		return
+	}
+	fs.rcache[addr] = buf
+	fs.rcacheFifo = append(fs.rcacheFifo, addr)
+	for len(fs.rcacheFifo) > fs.opts.ReadCacheBlocks {
+		old := fs.rcacheFifo[0]
+		fs.rcacheFifo = fs.rcacheFifo[1:]
+		delete(fs.rcache, old)
+	}
+}
+
+// invalidateCachedBlock drops addr from the read cache (the address is
+// being reused for different content).
+func (fs *FS) invalidateCachedBlock(addr int64) {
+	if fs.rcache != nil {
+		delete(fs.rcache, addr)
+	}
+}
+
+// allocInum allocates an inode number, reusing freed numbers first.
+func (fs *FS) allocInum() (uint32, error) {
+	if n := len(fs.freeInums); n > 0 {
+		inum := fs.freeInums[n-1]
+		fs.freeInums = fs.freeInums[:n-1]
+		return inum, nil
+	}
+	if int(fs.nextInum) >= fs.imap.maxInodes() {
+		return 0, ErrNoInodes
+	}
+	inum := fs.nextInum
+	fs.nextInum++
+	return inum, nil
+}
+
+// Unmount checkpoints the file system and marks it unusable.
+func (fs *FS) Unmount() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	if err := fs.checkpointLocked(); err != nil {
+		return err
+	}
+	fs.mounted = false
+	return nil
+}
+
+// Sync flushes all buffered modifications to the log (without writing a
+// checkpoint).
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	return fs.flushLog()
+}
+
+// Checkpoint flushes all state and writes a checkpoint region, creating a
+// position in the log at which all structures are consistent and complete
+// (Section 4.1).
+func (fs *FS) Checkpoint() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	return fs.checkpointLocked()
+}
+
+// Clean runs cleaning passes until the clean-segment count reaches the
+// high-water mark or no further space can be reclaimed. Applications
+// normally never call it: the cleaner runs automatically when clean
+// segments fall below the low-water mark.
+func (fs *FS) Clean() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	return fs.cleanUntil(fs.opts.CleanHighWater)
+}
+
+// CleanIdle performs up to budget segments' worth of cleaning work even
+// though the clean-segment pool is not low. Section 5.2 observes that "it
+// may be possible to perform much of the cleaning at night or during
+// other idle periods, so that clean segments are available during bursts
+// of activity"; callers invoke this from their own idle detector.
+func (fs *FS) CleanIdle(budget int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	if budget <= 0 {
+		return nil
+	}
+	target := len(fs.freeSegs) + budget
+	if max := int(fs.nsegs) - 1; target > max {
+		target = max
+	}
+	return fs.cleanUntil(target)
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Indirect-block roles recorded in summary entries (SummaryEntry.BlockNo
+// for KindIndirect). The cleaner and recovery use them to locate the
+// pointer that should reference the block.
+const (
+	indRoleSingle  uint32 = 0 // the inode's single indirect block
+	indRoleDTop    uint32 = 1 // the double-indirect top block
+	indRoleL2Base  uint32 = 2 // + i: the i-th level-2 block under DIndir
+	firstIndirect         = layout.NumDirect
+	firstDIndirect        = layout.NumDirect + layout.PointersPerBlock
+)
+
+// mInode is the in-memory representation of an inode: the on-disk fields
+// plus lazily loaded indirect-block contents and dirtiness tracking.
+type mInode struct {
+	ino *layout.Inode
+
+	ind       []int64 // single-indirect contents
+	indLoaded bool
+	indDirty  bool
+
+	dindTop       []int64 // double-indirect top contents
+	dindTopLoaded bool
+	dindTopDirty  bool
+
+	dindL2      map[int][]int64 // loaded level-2 blocks, by index
+	dindL2Dirty map[int]bool
+}
+
+func newMInode(ino *layout.Inode) *mInode {
+	return &mInode{ino: ino, dindL2: make(map[int][]int64), dindL2Dirty: make(map[int]bool)}
+}
+
+func nilPointerBlock() []int64 {
+	p := make([]int64, layout.PointersPerBlock)
+	for i := range p {
+		p[i] = layout.NilAddr
+	}
+	return p
+}
+
+// loadInode returns the cached in-memory inode for inum, reading it from
+// the log if necessary.
+func (fs *FS) loadInode(inum uint32) (*mInode, error) {
+	if mi, ok := fs.icache[inum]; ok {
+		return mi, nil
+	}
+	e := fs.imap.get(inum)
+	if !e.Allocated() {
+		return nil, fmt.Errorf("%w: inum %d", ErrNotFound, inum)
+	}
+	buf, err := fs.readMetaBlock(e.Addr)
+	if err != nil {
+		return nil, err
+	}
+	inodes, err := layout.DecodeInodeBlock(buf)
+	if err != nil {
+		return nil, fmt.Errorf("inode block at %d: %w", e.Addr, err)
+	}
+	if int(e.Slot) >= len(inodes) || inodes[e.Slot].Inum != inum {
+		return nil, fmt.Errorf("%w: imap slot %d of block %d does not hold inum %d", ErrCorrupt, e.Slot, e.Addr, inum)
+	}
+	mi := newMInode(inodes[e.Slot])
+	fs.icache[inum] = mi
+	return mi, nil
+}
+
+// loadIndirect ensures mi.ind is populated.
+func (fs *FS) loadIndirect(mi *mInode) error {
+	if mi.indLoaded {
+		return nil
+	}
+	if mi.ino.Indirect == layout.NilAddr {
+		mi.ind = nilPointerBlock()
+	} else {
+		buf, err := fs.readMetaBlock(mi.ino.Indirect)
+		if err != nil {
+			return err
+		}
+		mi.ind = layout.DecodeIndirectBlock(buf)
+	}
+	mi.indLoaded = true
+	return nil
+}
+
+// loadDTop ensures mi.dindTop is populated.
+func (fs *FS) loadDTop(mi *mInode) error {
+	if mi.dindTopLoaded {
+		return nil
+	}
+	if mi.ino.DIndir == layout.NilAddr {
+		mi.dindTop = nilPointerBlock()
+	} else {
+		buf, err := fs.readMetaBlock(mi.ino.DIndir)
+		if err != nil {
+			return err
+		}
+		mi.dindTop = layout.DecodeIndirectBlock(buf)
+	}
+	mi.dindTopLoaded = true
+	return nil
+}
+
+// loadL2 ensures the i-th level-2 double-indirect block is populated.
+func (fs *FS) loadL2(mi *mInode, i int) ([]int64, error) {
+	if l2, ok := mi.dindL2[i]; ok {
+		return l2, nil
+	}
+	if err := fs.loadDTop(mi); err != nil {
+		return nil, err
+	}
+	var l2 []int64
+	if addr := mi.dindTop[i]; addr == layout.NilAddr {
+		l2 = nilPointerBlock()
+	} else {
+		buf, err := fs.readMetaBlock(addr)
+		if err != nil {
+			return nil, err
+		}
+		l2 = layout.DecodeIndirectBlock(buf)
+	}
+	mi.dindL2[i] = l2
+	return l2, nil
+}
+
+// blockAddr returns the disk address of file block bn, or NilAddr for a
+// hole.
+func (fs *FS) blockAddr(mi *mInode, bn uint32) (int64, error) {
+	switch {
+	case bn < firstIndirect:
+		return mi.ino.Direct[bn], nil
+	case bn < firstDIndirect:
+		if mi.ino.Indirect == layout.NilAddr && !mi.indLoaded {
+			return layout.NilAddr, nil
+		}
+		if err := fs.loadIndirect(mi); err != nil {
+			return 0, err
+		}
+		return mi.ind[bn-firstIndirect], nil
+	case uint64(bn) < uint64(layout.MaxFileBlocks):
+		if mi.ino.DIndir == layout.NilAddr && !mi.dindTopLoaded {
+			return layout.NilAddr, nil
+		}
+		rel := int(bn - firstDIndirect)
+		i := rel / layout.PointersPerBlock
+		if err := fs.loadDTop(mi); err != nil {
+			return 0, err
+		}
+		if mi.dindTop[i] == layout.NilAddr {
+			if _, ok := mi.dindL2[i]; !ok {
+				return layout.NilAddr, nil
+			}
+		}
+		l2, err := fs.loadL2(mi, i)
+		if err != nil {
+			return 0, err
+		}
+		return l2[rel%layout.PointersPerBlock], nil
+	default:
+		return 0, ErrFileTooBig
+	}
+}
+
+// ensureMapSlot materializes (and dirties) the indirect structures needed
+// so that file block bn can later be placed without allocation. It is
+// called on the write path, before the block is staged.
+func (fs *FS) ensureMapSlot(mi *mInode, bn uint32) error {
+	switch {
+	case bn < firstIndirect:
+		return nil
+	case bn < firstDIndirect:
+		if err := fs.loadIndirect(mi); err != nil {
+			return err
+		}
+		mi.indDirty = true
+		return nil
+	case uint64(bn) < uint64(layout.MaxFileBlocks):
+		rel := int(bn - firstDIndirect)
+		i := rel / layout.PointersPerBlock
+		if _, err := fs.loadL2(mi, i); err != nil {
+			return err
+		}
+		mi.dindL2Dirty[i] = true
+		mi.dindTopDirty = true
+		return nil
+	default:
+		return ErrFileTooBig
+	}
+}
+
+// setBlockAddr points file block bn at addr and returns the previous
+// address. The needed structures must have been materialized by
+// ensureMapSlot.
+func (fs *FS) setBlockAddr(mi *mInode, bn uint32, addr int64) (old int64, err error) {
+	switch {
+	case bn < firstIndirect:
+		old = mi.ino.Direct[bn]
+		mi.ino.Direct[bn] = addr
+		return old, nil
+	case bn < firstDIndirect:
+		if !mi.indLoaded {
+			return 0, fmt.Errorf("%w: indirect block for bn %d not materialized", ErrCorrupt, bn)
+		}
+		old = mi.ind[bn-firstIndirect]
+		mi.ind[bn-firstIndirect] = addr
+		return old, nil
+	case uint64(bn) < uint64(layout.MaxFileBlocks):
+		rel := int(bn - firstDIndirect)
+		i := rel / layout.PointersPerBlock
+		l2, ok := mi.dindL2[i]
+		if !ok {
+			return 0, fmt.Errorf("%w: level-2 block %d for bn %d not materialized", ErrCorrupt, i, bn)
+		}
+		old = l2[rel%layout.PointersPerBlock]
+		l2[rel%layout.PointersPerBlock] = addr
+		return old, nil
+	default:
+		return 0, ErrFileTooBig
+	}
+}
+
+// forEachBlockAddr calls fn for every allocated data block of the file
+// with its block number and disk address. It does not visit indirect
+// blocks themselves; see forEachIndirectAddr.
+func (fs *FS) forEachBlockAddr(mi *mInode, fn func(bn uint32, addr int64) error) error {
+	for bn, a := range mi.ino.Direct {
+		if a != layout.NilAddr {
+			if err := fn(uint32(bn), a); err != nil {
+				return err
+			}
+		}
+	}
+	if mi.ino.Indirect != layout.NilAddr || mi.indLoaded {
+		if err := fs.loadIndirect(mi); err != nil {
+			return err
+		}
+		for j, a := range mi.ind {
+			if a != layout.NilAddr {
+				if err := fn(uint32(firstIndirect+j), a); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if mi.ino.DIndir != layout.NilAddr || mi.dindTopLoaded {
+		if err := fs.loadDTop(mi); err != nil {
+			return err
+		}
+		for i := range mi.dindTop {
+			if mi.dindTop[i] == layout.NilAddr {
+				if _, ok := mi.dindL2[i]; !ok {
+					continue
+				}
+			}
+			l2, err := fs.loadL2(mi, i)
+			if err != nil {
+				return err
+			}
+			for j, a := range l2 {
+				if a != layout.NilAddr {
+					bn := uint32(firstDIndirect + i*layout.PointersPerBlock + j)
+					if err := fn(bn, a); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// forEachIndirectAddr calls fn for every on-disk indirect block of the
+// file (single indirect, double-indirect top, and level-2 blocks).
+func (fs *FS) forEachIndirectAddr(mi *mInode, fn func(addr int64) error) error {
+	if a := mi.ino.Indirect; a != layout.NilAddr {
+		if err := fn(a); err != nil {
+			return err
+		}
+	}
+	if mi.ino.DIndir != layout.NilAddr {
+		if err := fn(mi.ino.DIndir); err != nil {
+			return err
+		}
+		if err := fs.loadDTop(mi); err != nil {
+			return err
+		}
+		for _, a := range mi.dindTop {
+			if a != layout.NilAddr {
+				if err := fn(a); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

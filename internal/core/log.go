@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/layout"
+)
+
+// stagedBlock is one block queued for the next log write. Content is
+// either fixed (data) or produced late by encode, after every block in the
+// flush has been assigned its address — which is how self-describing
+// metadata such as the segment usage table captures its own placement.
+type stagedBlock struct {
+	entry   layout.SummaryEntry
+	data    []byte
+	encode  func() ([]byte, error)
+	placed  func(addr int64) error
+	age     uint64
+	cleaner bool // written on behalf of the cleaner (for stats)
+}
+
+func (fs *FS) stage(b stagedBlock) {
+	if fs.inCleaner {
+		b.cleaner = true
+	}
+	fs.pending = append(fs.pending, b)
+}
+
+// reserveSegments is the part of the clean-segment pool that only the
+// cleaner (and checkpoints/recovery) may consume. Ordinary writes stop
+// short of it, which guarantees the cleaner always has output space to
+// make progress.
+const reserveSegments = 4
+
+// advanceSegment retires the current head segment and moves the log to
+// the pre-selected next segment.
+func (fs *FS) advanceSegment() error {
+	if fs.nextSeg == layout.NilAddr {
+		// The pool was empty when the previous advance pre-selected;
+		// cleaning may have refilled it since.
+		fs.nextSeg = fs.popFreeSeg()
+	}
+	if fs.nextSeg == layout.NilAddr {
+		return fmt.Errorf("%w: no next segment", ErrNoSpace)
+	}
+	privileged := fs.inCleaner || fs.inRecovery || fs.cpActive
+	if !privileged && len(fs.freeSegs) < reserveSegments {
+		return fmt.Errorf("%w: %d clean segments left (cleaner reserve)", ErrNoSpace, len(fs.freeSegs))
+	}
+	fs.usage.setActive(fs.head, false)
+	fs.head = fs.nextSeg
+	fs.headOff = 0
+	fs.usage.setActive(fs.head, true)
+	fs.usage.noteWrite(fs.head, fs.now())
+	fs.nextSeg = fs.popFreeSeg()
+	return nil
+}
+
+// popFreeSeg removes one clean segment from the free list, or returns
+// NilAddr when none remain.
+func (fs *FS) popFreeSeg() int64 {
+	n := len(fs.freeSegs)
+	if n == 0 {
+		return layout.NilAddr
+	}
+	s := fs.freeSegs[0]
+	fs.freeSegs = fs.freeSegs[1:]
+	return s
+}
+
+// flushPending writes every staged block to the log in one or more
+// partial-segment writes, each led by a segment summary block
+// (Section 3.2). Each partial write is a single contiguous device write,
+// which is what lets the log use nearly the full disk bandwidth.
+func (fs *FS) flushPending() error {
+	for len(fs.pending) > 0 {
+		space := fs.segBlocks - fs.headOff
+		if space < 2 {
+			if err := fs.advanceSegment(); err != nil {
+				return err
+			}
+			continue
+		}
+		n := len(fs.pending)
+		if max := int(space) - 1; n > max {
+			n = max
+		}
+		if n > layout.MaxSummaryEntries {
+			n = layout.MaxSummaryEntries
+		}
+		batch := fs.pending[:n]
+		fs.pending = fs.pending[n:]
+
+		sumAddr := fs.segStart(fs.head) + fs.headOff
+		now := fs.now()
+
+		// Phase 1: assign addresses and update all pointers/accounting.
+		for i := range batch {
+			addr := sumAddr + 1 + int64(i)
+			if batch[i].placed != nil {
+				if err := batch[i].placed(addr); err != nil {
+					return err
+				}
+			}
+			if err := fs.usage.addLive(fs.head, layout.BlockSize); err != nil {
+				return err
+			}
+			fs.invalidateCachedBlock(addr)
+		}
+		fs.usage.noteWrite(fs.head, now)
+		fs.invalidateCachedBlock(sumAddr)
+
+		// Phase 2: encode contents (late-bound encoders see final state).
+		buf := make([]byte, (1+n)*layout.BlockSize)
+		entries := make([]layout.SummaryEntry, n)
+		var youngest uint64
+		for i := range batch {
+			b := &batch[i]
+			b.entry.Age = b.age
+			content := b.data
+			if content == nil {
+				var err error
+				content, err = b.encode()
+				if err != nil {
+					return err
+				}
+			}
+			if len(content) != layout.BlockSize {
+				return fmt.Errorf("%w: staged block has %d bytes", ErrCorrupt, len(content))
+			}
+			copy(buf[(1+i)*layout.BlockSize:], content)
+			entries[i] = b.entry
+			if b.age > youngest {
+				youngest = b.age
+			}
+		}
+		summary := &layout.Summary{
+			WriteSeq:     fs.writeSeq,
+			Timestamp:    now,
+			NextSeg:      fs.nextSeg,
+			YoungestAge:  youngest,
+			DataChecksum: layout.Checksum(buf[layout.BlockSize:]),
+			Entries:      entries,
+		}
+		sumBlock, err := summary.Encode()
+		if err != nil {
+			return err
+		}
+		// The data blocks are written before the summary that describes
+		// them: a summary on disk therefore implies its data is complete,
+		// so roll-forward never needs to read (or checksum) file data —
+		// recovery cost stays proportional to the number of files, not
+		// the volume of data (Table 3). A crash between the two writes
+		// leaves an unreachable, harmless tail.
+		if err := fs.dev.Write(sumAddr+1, buf[layout.BlockSize:]); err != nil {
+			return err
+		}
+		if err := fs.dev.Write(sumAddr, sumBlock); err != nil {
+			return err
+		}
+
+		fs.writeSeq++
+		fs.headOff += int64(1 + n)
+		fs.bytesSinceCp += int64(1+n) * layout.BlockSize
+		fs.stats.PartialWrites++
+		fs.stats.SummaryBytes += layout.BlockSize
+		for i := range batch {
+			b := &batch[i]
+			fs.stats.addKind(b.entry.Kind, layout.BlockSize)
+			if b.cleaner {
+				fs.stats.CleanerWriteBytes += layout.BlockSize
+			} else {
+				fs.stats.NewDataBytes += layout.BlockSize
+			}
+			if fs.inRecovery {
+				fs.stats.RollForwardWrites++
+			}
+		}
+	}
+	return nil
+}
+
+// flushLog stages every buffered modification — directory operation log
+// records first (Section 4.2 requires them to precede the directory and
+// inode blocks they describe), then file data, indirect blocks and packed
+// inodes — and writes them to the log.
+func (fs *FS) flushLog() error {
+	fs.stageDirOps()
+	if err := fs.stageDataBlocks(); err != nil {
+		return err
+	}
+	if err := fs.stageIndirectBlocks(); err != nil {
+		return err
+	}
+	if err := fs.stageInodeBlocks(); err != nil {
+		return err
+	}
+	if err := fs.flushPending(); err != nil {
+		return err
+	}
+	fs.dirtyBlocks = 0
+	// Everything acknowledged so far is now recoverable by roll-forward,
+	// so the NVRAM redo records are no longer needed.
+	fs.nvClear()
+	if fs.opts.CheckpointEveryBytes > 0 && fs.bytesSinceCp >= fs.opts.CheckpointEveryBytes &&
+		!fs.inCheckpoint() {
+		return fs.checkpointLocked()
+	}
+	return nil
+}
+
+// inCheckpoint reports whether a checkpoint is already in progress (the
+// cpActive flag lives on the struct to stop recursion through flushLog).
+func (fs *FS) inCheckpoint() bool { return fs.cpActive }
+
+// stageDirOps encodes pending directory-operation-log records into dirlog
+// blocks and stages them ahead of everything else.
+func (fs *FS) stageDirOps() {
+	ops := fs.pendingOps
+	fs.pendingOps = nil
+	for len(ops) > 0 {
+		blk, n, err := layout.EncodeDirOpLog(ops)
+		if err != nil || n == 0 {
+			// Records are produced internally and always encodable;
+			// treat failure as a programming error.
+			panic(fmt.Sprintf("lfs: dirlog encode: %v", err))
+		}
+		age := fs.now()
+		fs.stage(stagedBlock{
+			entry: layout.SummaryEntry{Kind: layout.KindDirLog},
+			data:  blk,
+			age:   age,
+			placed: func(addr int64) error {
+				fs.dirlogAddrs = append(fs.dirlogAddrs, addr)
+				return nil
+			},
+		})
+		ops = ops[n:]
+	}
+}
+
+// stageDataBlocks stages the dirty file-cache blocks, sorted by inum and
+// block number so files are packed densely and deterministically.
+func (fs *FS) stageDataBlocks() error {
+	if len(fs.dcache) == 0 {
+		return nil
+	}
+	keys := make([]blockKey, 0, len(fs.dcache))
+	for k := range fs.dcache {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].inum != keys[j].inum {
+			return keys[i].inum < keys[j].inum
+		}
+		return keys[i].bn < keys[j].bn
+	})
+	for _, k := range keys {
+		data := fs.dcache[k]
+		delete(fs.dcache, k)
+		mi, err := fs.loadInode(k.inum)
+		if err != nil {
+			return err
+		}
+		version := fs.imap.get(k.inum).Version
+		fs.stage(stagedBlock{
+			entry: layout.SummaryEntry{Kind: layout.KindData, Inum: k.inum, Version: version, BlockNo: k.bn},
+			data:  data,
+			age:   mi.ino.Mtime,
+			placed: func(addr int64) error {
+				old, err := fs.setBlockAddr(mi, k.bn, addr)
+				if err != nil {
+					return err
+				}
+				if old != layout.NilAddr {
+					return fs.decLive(old)
+				}
+				return nil
+			},
+		})
+	}
+	return nil
+}
+
+// stageIndirectBlocks stages dirty indirect blocks: level-2 blocks first,
+// then the double-indirect top and single indirect blocks, so that content
+// dependencies always point at earlier staged blocks.
+func (fs *FS) stageIndirectBlocks() error {
+	inums := fs.sortedDirtyInums()
+	for _, inum := range inums {
+		mi := fs.icache[inum]
+		if mi == nil {
+			continue
+		}
+		version := fs.imap.get(inum).Version
+		for _, i := range sortedKeys(mi.dindL2Dirty) {
+			if !mi.dindL2Dirty[i] {
+				continue
+			}
+			fs.stage(stagedBlock{
+				entry: layout.SummaryEntry{Kind: layout.KindIndirect, Inum: inum, Version: version, BlockNo: indRoleL2Base + uint32(i)},
+				age:   mi.ino.Mtime,
+				encode: func() ([]byte, error) {
+					return layout.EncodeIndirectBlock(mi.dindL2[i])
+				},
+				placed: func(addr int64) error {
+					old := mi.dindTop[i]
+					mi.dindTop[i] = addr
+					if old != layout.NilAddr {
+						return fs.decLive(old)
+					}
+					return nil
+				},
+			})
+			mi.dindL2Dirty[i] = false
+		}
+		if mi.dindTopDirty {
+			fs.stage(stagedBlock{
+				entry: layout.SummaryEntry{Kind: layout.KindIndirect, Inum: inum, Version: version, BlockNo: indRoleDTop},
+				age:   mi.ino.Mtime,
+				encode: func() ([]byte, error) {
+					return layout.EncodeIndirectBlock(mi.dindTop)
+				},
+				placed: func(addr int64) error {
+					old := mi.ino.DIndir
+					mi.ino.DIndir = addr
+					if old != layout.NilAddr {
+						return fs.decLive(old)
+					}
+					return nil
+				},
+			})
+			mi.dindTopDirty = false
+		}
+		if mi.indDirty {
+			fs.stage(stagedBlock{
+				entry: layout.SummaryEntry{Kind: layout.KindIndirect, Inum: inum, Version: version, BlockNo: indRoleSingle},
+				age:   mi.ino.Mtime,
+				encode: func() ([]byte, error) {
+					return layout.EncodeIndirectBlock(mi.ind)
+				},
+				placed: func(addr int64) error {
+					old := mi.ino.Indirect
+					mi.ino.Indirect = addr
+					if old != layout.NilAddr {
+						return fs.decLive(old)
+					}
+					return nil
+				},
+			})
+			mi.indDirty = false
+		}
+	}
+	return nil
+}
+
+// stageInodeBlocks packs the dirty inodes into inode blocks and stages
+// them. Placement updates the inode map, which dirties the covering map
+// blocks for the next checkpoint.
+func (fs *FS) stageInodeBlocks() error {
+	inums := fs.sortedDirtyInums()
+	if len(inums) == 0 {
+		return nil
+	}
+	for start := 0; start < len(inums); start += layout.InodesPerBlock {
+		end := start + layout.InodesPerBlock
+		if end > len(inums) {
+			end = len(inums)
+		}
+		group := inums[start:end]
+		mis := make([]*mInode, len(group))
+		var age uint64
+		for i, inum := range group {
+			mi, err := fs.loadInode(inum)
+			if err != nil {
+				return err
+			}
+			mis[i] = mi
+			if mi.ino.Mtime > age {
+				age = mi.ino.Mtime
+			}
+		}
+		fs.stage(stagedBlock{
+			entry: layout.SummaryEntry{Kind: layout.KindInode, Inum: group[0], BlockNo: uint32(len(group))},
+			age:   age,
+			encode: func() ([]byte, error) {
+				inos := make([]*layout.Inode, len(mis))
+				for i, mi := range mis {
+					inos[i] = mi.ino
+				}
+				return layout.EncodeInodeBlock(inos)
+			},
+			placed: func(addr int64) error {
+				for slot, inum := range group {
+					old := fs.imap.get(inum).Addr
+					fs.imap.setLocation(inum, addr, uint16(slot))
+					if err := fs.decInoBlockRef(old); err != nil {
+						return err
+					}
+				}
+				fs.inoBlockRefs[addr] = len(group)
+				return nil
+			},
+		})
+	}
+	for _, inum := range inums {
+		delete(fs.dirtyInodes, inum)
+	}
+	return nil
+}
+
+func (fs *FS) sortedDirtyInums() []uint32 {
+	inums := make([]uint32, 0, len(fs.dirtyInodes))
+	for inum := range fs.dirtyInodes {
+		inums = append(inums, inum)
+	}
+	sort.Slice(inums, func(i, j int) bool { return inums[i] < inums[j] })
+	return inums
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,647 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/layout"
+)
+
+// FileInfo describes a file, as returned by Stat.
+type FileInfo struct {
+	Inum    uint32
+	Version uint32
+	IsDir   bool
+	Size    int64
+	Nlink   int
+	Mtime   uint64
+	Atime   uint64
+}
+
+// splitPath normalizes a slash-separated path into components. Empty
+// components and "." are ignored; ".." is not supported.
+func splitPath(p string) ([]string, error) {
+	parts := strings.Split(p, "/")
+	out := parts[:0]
+	for _, c := range parts {
+		switch c {
+		case "", ".":
+			continue
+		case "..":
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, p)
+		}
+		if len(c) > layout.MaxNameLen {
+			return nil, fmt.Errorf("%w: component too long in %q", ErrBadPath, p)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// loadDir returns the (cached) entries of directory inum.
+func (fs *FS) loadDir(inum uint32) ([]layout.DirEntry, error) {
+	if entries, ok := fs.dirCache[inum]; ok {
+		return entries, nil
+	}
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		return nil, err
+	}
+	if mi.ino.Type != layout.FileTypeDir {
+		return nil, ErrNotDir
+	}
+	data := make([]byte, mi.ino.Size)
+	if _, err := fs.readAt(mi, 0, data); err != nil {
+		return nil, err
+	}
+	entries, err := layout.DecodeDirectory(data)
+	if err != nil {
+		return nil, fmt.Errorf("directory %d: %w", inum, err)
+	}
+	fs.dirCache[inum] = entries
+	return entries, nil
+}
+
+// saveDir rewrites directory inum's contents from the cache. Only the
+// changed suffix is written: appending an entry to a large directory
+// dirties one block, not the whole directory.
+func (fs *FS) saveDir(inum uint32, entries []layout.DirEntry) error {
+	fs.dirCache[inum] = entries
+	data, err := layout.EncodeDirectory(entries)
+	if err != nil {
+		return err
+	}
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		return err
+	}
+	start := dirDeltaStart(fs.dirBytes[inum], data)
+	if start < len(data) {
+		if _, err := fs.writeAt(mi, int64(start), data[start:]); err != nil {
+			return err
+		}
+	}
+	if err := fs.truncate(mi, int64(len(data))); err != nil {
+		return err
+	}
+	fs.dirBytes[inum] = data
+	return nil
+}
+
+// dirDeltaStart returns the first offset at which the new directory bytes
+// differ from the previously written ones, rounded down to a block
+// boundary.
+func dirDeltaStart(old, data []byte) int {
+	n := len(old)
+	if len(data) < n {
+		n = len(data)
+	}
+	i := 0
+	for i < n && old[i] == data[i] {
+		i++
+	}
+	return i / layout.BlockSize * layout.BlockSize
+}
+
+// lookup finds name in directory dirInum.
+func (fs *FS) lookup(dirInum uint32, name string) (uint32, bool, error) {
+	entries, err := fs.loadDir(dirInum)
+	if err != nil {
+		return 0, false, err
+	}
+	for _, e := range entries {
+		if e.Name == name {
+			return e.Inum, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// resolve walks path to an inum.
+func (fs *FS) resolve(path string) (uint32, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, err
+	}
+	inum := RootInum
+	for _, name := range parts {
+		next, ok, err := fs.lookup(inum, name)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNotFound, path)
+		}
+		inum = next
+	}
+	return inum, nil
+}
+
+// resolveParent walks to the parent directory of path and returns the
+// final name component.
+func (fs *FS) resolveParent(path string) (uint32, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, "", err
+	}
+	if len(parts) == 0 {
+		return 0, "", fmt.Errorf("%w: %q has no final component", ErrBadPath, path)
+	}
+	inum := RootInum
+	for _, name := range parts[:len(parts)-1] {
+		next, ok, err := fs.lookup(inum, name)
+		if err != nil {
+			return 0, "", err
+		}
+		if !ok {
+			return 0, "", fmt.Errorf("%w: %q", ErrNotFound, path)
+		}
+		inum = next
+	}
+	return inum, parts[len(parts)-1], nil
+}
+
+// logDirOp appends a record to the directory operation log (Section 4.2).
+// The record is flushed ahead of the directory and inode blocks it covers.
+func (fs *FS) logDirOp(op *layout.DirOp) {
+	op.Seq = fs.dirLogSeq
+	fs.dirLogSeq++
+	fs.pendingOps = append(fs.pendingOps, op)
+}
+
+// createNode allocates an inode of the given type and links it into dir.
+func (fs *FS) createNode(dirInum uint32, name string, typ uint8) (uint32, error) {
+	if _, exists, err := fs.lookup(dirInum, name); err != nil {
+		return 0, err
+	} else if exists {
+		return 0, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	inum, err := fs.allocInum()
+	if err != nil {
+		return 0, err
+	}
+	version := fs.imap.get(inum).Version
+	if version == 0 {
+		version = 1
+	}
+	fs.imap.setVersion(inum, version)
+	mi := newMInode(layout.NewInode(inum, typ))
+	mi.ino.Version = version
+	mi.ino.Mtime = fs.now()
+	fs.icache[inum] = mi
+	fs.markInodeDirty(inum)
+	if typ == layout.FileTypeDir {
+		fs.dirCache[inum] = nil
+	}
+
+	fs.logDirOp(&layout.DirOp{Op: layout.DirOpCreate, Dir: dirInum, Name: name, Inum: inum, Version: version, NewNlink: 1})
+	entries, err := fs.loadDir(dirInum)
+	if err != nil {
+		return 0, err
+	}
+	entries = append(entries, layout.DirEntry{Inum: inum, Name: name})
+	if err := fs.saveDir(dirInum, entries); err != nil {
+		return 0, err
+	}
+	fs.stats.FilesCreated++
+	return inum, nil
+}
+
+// Create makes an empty regular file.
+func (fs *FS) Create(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	fs.tick()
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.createNode(dir, name, layout.FileTypeRegular); err != nil {
+		return err
+	}
+	if err := fs.nvLog(nvRecord{kind: nvCreate, path: path}); err != nil {
+		return err
+	}
+	return fs.epilogue()
+}
+
+// Mkdir makes an empty directory.
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	fs.tick()
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.createNode(dir, name, layout.FileTypeDir); err != nil {
+		return err
+	}
+	if err := fs.nvLog(nvRecord{kind: nvMkdir, path: path}); err != nil {
+		return err
+	}
+	return fs.epilogue()
+}
+
+// WriteAt writes data into the file at path at the given offset, creating
+// nothing: the file must exist.
+func (fs *FS) WriteAt(path string, off int64, data []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return 0, ErrUnmounted
+	}
+	fs.tick()
+	mi, err := fs.resolveFile(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := fs.writeAt(mi, off, data)
+	if err != nil {
+		return n, err
+	}
+	if err := fs.nvLog(nvRecord{kind: nvWriteAt, path: path, offset: off,
+		data: append([]byte(nil), data...)}); err != nil {
+		return n, err
+	}
+	return n, fs.epilogue()
+}
+
+// WriteFile replaces the file's contents with data, creating the file if
+// needed (a convenience combining Create, Truncate and WriteAt).
+func (fs *FS) WriteFile(path string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	fs.tick()
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	inum, exists, err := fs.lookup(dir, name)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		if inum, err = fs.createNode(dir, name, layout.FileTypeRegular); err != nil {
+			return err
+		}
+	}
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		return err
+	}
+	if mi.ino.Type == layout.FileTypeDir {
+		return ErrIsDir
+	}
+	if err := fs.truncate(mi, 0); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := fs.writeAt(mi, 0, data); err != nil {
+			return err
+		}
+	}
+	if err := fs.nvLog(nvRecord{kind: nvWriteFile, path: path,
+		data: append([]byte(nil), data...)}); err != nil {
+		return err
+	}
+	return fs.epilogue()
+}
+
+// ReadAt reads from the file at path into buf starting at off; it returns
+// the number of bytes read (0 at or past end of file).
+func (fs *FS) ReadAt(path string, off int64, buf []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return 0, ErrUnmounted
+	}
+	fs.tick()
+	mi, err := fs.resolveFile(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := fs.readAt(mi, off, buf)
+	if err != nil {
+		return n, err
+	}
+	fs.imap.setAtime(mi.ino.Inum, fs.now())
+	return n, nil
+}
+
+// ReadFile returns the whole contents of the file at path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return nil, ErrUnmounted
+	}
+	fs.tick()
+	mi, err := fs.resolveFile(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, mi.ino.Size)
+	if _, err := fs.readAt(mi, 0, buf); err != nil {
+		return nil, err
+	}
+	fs.imap.setAtime(mi.ino.Inum, fs.now())
+	return buf, nil
+}
+
+// resolveFile resolves path to a regular file's in-memory inode.
+func (fs *FS) resolveFile(path string) (*mInode, error) {
+	inum, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		return nil, err
+	}
+	if mi.ino.Type == layout.FileTypeDir {
+		return nil, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	return mi, nil
+}
+
+// Truncate sets the file's size.
+func (fs *FS) Truncate(path string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	fs.tick()
+	mi, err := fs.resolveFile(path)
+	if err != nil {
+		return err
+	}
+	if err := fs.truncate(mi, size); err != nil {
+		return err
+	}
+	if err := fs.nvLog(nvRecord{kind: nvTruncate, path: path, size: size}); err != nil {
+		return err
+	}
+	return fs.epilogue()
+}
+
+// Stat describes the file or directory at path.
+func (fs *FS) Stat(path string) (FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return FileInfo{}, ErrUnmounted
+	}
+	inum, err := fs.resolve(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	e := fs.imap.get(inum)
+	return FileInfo{
+		Inum:    inum,
+		Version: e.Version,
+		IsDir:   mi.ino.Type == layout.FileTypeDir,
+		Size:    int64(mi.ino.Size),
+		Nlink:   int(mi.ino.Nlink),
+		Mtime:   mi.ino.Mtime,
+		Atime:   e.Atime,
+	}, nil
+}
+
+// ReadDir lists the entries of the directory at path.
+func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return nil, ErrUnmounted
+	}
+	inum, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := fs.loadDir(inum)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]layout.DirEntry, len(entries))
+	copy(out, entries)
+	return out, nil
+}
+
+// Link creates a new hard link newPath referring to the file at oldPath.
+func (fs *FS) Link(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	fs.tick()
+	if err := fs.linkLocked(oldPath, newPath); err != nil {
+		return err
+	}
+	if err := fs.nvLog(nvRecord{kind: nvLink, path: oldPath, path2: newPath}); err != nil {
+		return err
+	}
+	return fs.epilogue()
+}
+
+func (fs *FS) linkLocked(oldPath, newPath string) error {
+	mi, err := fs.resolveFile(oldPath)
+	if err != nil {
+		return err
+	}
+	dir, name, err := fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if _, exists, err := fs.lookup(dir, name); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("%w: %q", ErrExists, newPath)
+	}
+	inum := mi.ino.Inum
+	mi.ino.Nlink++
+	fs.markInodeDirty(inum)
+	fs.logDirOp(&layout.DirOp{Op: layout.DirOpLink, Dir: dir, Name: name, Inum: inum, Version: mi.ino.Version, NewNlink: mi.ino.Nlink})
+	entries, err := fs.loadDir(dir)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, layout.DirEntry{Inum: inum, Name: name})
+	return fs.saveDir(dir, entries)
+}
+
+// Remove unlinks the file or empty directory at path.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	fs.tick()
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	inum, exists, err := fs.lookup(dir, name)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	if err := fs.unlinkLocked(dir, name, inum); err != nil {
+		return err
+	}
+	if err := fs.nvLog(nvRecord{kind: nvRemove, path: path}); err != nil {
+		return err
+	}
+	return fs.epilogue()
+}
+
+// unlinkLocked removes the (dir, name) entry and drops one reference from
+// inum, deleting the file when the count reaches zero.
+func (fs *FS) unlinkLocked(dir uint32, name string, inum uint32) error {
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		return err
+	}
+	if mi.ino.Type == layout.FileTypeDir {
+		sub, err := fs.loadDir(inum)
+		if err != nil {
+			return err
+		}
+		if len(sub) > 0 {
+			return fmt.Errorf("%w: %q", ErrNotEmpty, name)
+		}
+	}
+	newNlink := mi.ino.Nlink - 1
+	fs.logDirOp(&layout.DirOp{Op: layout.DirOpUnlink, Dir: dir, Name: name, Inum: inum, Version: mi.ino.Version, NewNlink: newNlink})
+	entries, err := fs.loadDir(dir)
+	if err != nil {
+		return err
+	}
+	for i, e := range entries {
+		if e.Name == name {
+			entries = append(entries[:i], entries[i+1:]...)
+			break
+		}
+	}
+	if err := fs.saveDir(dir, entries); err != nil {
+		return err
+	}
+	if newNlink == 0 {
+		return fs.removeFile(inum)
+	}
+	mi.ino.Nlink = newNlink
+	fs.markInodeDirty(inum)
+	return nil
+}
+
+// Rename atomically moves oldPath to newPath, replacing a regular-file
+// target if one exists. The directory operation log makes the operation
+// atomic across crashes (Section 4.2).
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return ErrUnmounted
+	}
+	fs.tick()
+	if err := fs.renameLocked(oldPath, newPath); err != nil {
+		return err
+	}
+	if err := fs.nvLog(nvRecord{kind: nvRename, path: oldPath, path2: newPath}); err != nil {
+		return err
+	}
+	return fs.epilogue()
+}
+
+func (fs *FS) renameLocked(oldPath, newPath string) error {
+	oldDir, oldName, err := fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	inum, exists, err := fs.lookup(oldDir, oldName)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return fmt.Errorf("%w: %q", ErrNotFound, oldPath)
+	}
+	newDir, newName, err := fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if target, exists, err := fs.lookup(newDir, newName); err != nil {
+		return err
+	} else if exists {
+		if target == inum && oldDir == newDir && oldName == newName {
+			return nil
+		}
+		tmi, err := fs.loadInode(target)
+		if err != nil {
+			return err
+		}
+		if tmi.ino.Type == layout.FileTypeDir {
+			return fmt.Errorf("%w: rename over directory %q", ErrIsDir, newPath)
+		}
+		if err := fs.unlinkLocked(newDir, newName, target); err != nil {
+			return err
+		}
+	}
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		return err
+	}
+	fs.logDirOp(&layout.DirOp{
+		Op: layout.DirOpRename, Dir: oldDir, Name: oldName,
+		Inum: inum, Version: mi.ino.Version, NewNlink: mi.ino.Nlink, Dir2: newDir, Name2: newName,
+	})
+	entries, err := fs.loadDir(oldDir)
+	if err != nil {
+		return err
+	}
+	for i, e := range entries {
+		if e.Name == oldName {
+			entries = append(entries[:i], entries[i+1:]...)
+			break
+		}
+	}
+	if err := fs.saveDir(oldDir, entries); err != nil {
+		return err
+	}
+	dst, err := fs.loadDir(newDir)
+	if err != nil {
+		return err
+	}
+	dst = append(dst, layout.DirEntry{Inum: inum, Name: newName})
+	return fs.saveDir(newDir, dst)
+}
+
+// epilogue runs at the end of mutating operations: it starts the cleaner
+// when the clean-segment pool drops below the low-water mark
+// (Section 3.4).
+func (fs *FS) epilogue() error {
+	if fs.inCleaner || fs.inRecovery || fs.cpActive {
+		return nil
+	}
+	if len(fs.freeSegs) < fs.opts.CleanLowWater {
+		return fs.cleanUntil(fs.opts.CleanHighWater)
+	}
+	return nil
+}

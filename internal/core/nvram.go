@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/layout"
+)
+
+// NVRAM models a battery-backed write buffer (Section 2.1: "write-
+// buffering has the disadvantage of increasing the amount of data lost
+// during a crash ... for applications that require better crash recovery,
+// non-volatile RAM may be used for the write buffer").
+//
+// The NVRAM holds a redo log of the operations whose effects are still
+// only in the volatile file cache. Once a log flush makes those effects
+// recoverable by roll-forward, the records are discarded. After a crash,
+// mounting with the same NVRAM replays the surviving records, so no
+// acknowledged operation is lost — at the cost of the (small, bounded)
+// battery-backed memory.
+//
+// Replays are idempotent: an operation whose effect already reached the
+// log is detected and skipped.
+type NVRAM struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	records  []nvRecord
+}
+
+type nvKind uint8
+
+const (
+	nvCreate nvKind = iota + 1
+	nvMkdir
+	nvWriteAt
+	nvWriteFile
+	nvTruncate
+	nvRemove
+	nvRename
+	nvLink
+)
+
+type nvRecord struct {
+	kind   nvKind
+	path   string
+	path2  string
+	offset int64
+	size   int64
+	data   []byte
+}
+
+func (r *nvRecord) bytes() int64 {
+	return int64(len(r.path)+len(r.path2)+len(r.data)) + 32
+}
+
+// NewNVRAM returns an NVRAM of the given capacity in bytes. Sprite-era
+// boards held a few hundred kilobytes; anything at least as large as the
+// write buffer works well.
+func NewNVRAM(capacity int64) *NVRAM {
+	if capacity < 4096 {
+		capacity = 4096
+	}
+	return &NVRAM{capacity: capacity}
+}
+
+// Used returns the bytes currently buffered.
+func (nv *NVRAM) Used() int64 {
+	nv.mu.Lock()
+	defer nv.mu.Unlock()
+	return nv.used
+}
+
+// Pending returns how many operations are currently buffered.
+func (nv *NVRAM) Pending() int {
+	nv.mu.Lock()
+	defer nv.mu.Unlock()
+	return len(nv.records)
+}
+
+// append records an operation; it reports whether the NVRAM is now past
+// capacity (the caller flushes the log, which empties it).
+func (nv *NVRAM) append(r nvRecord) bool {
+	nv.mu.Lock()
+	defer nv.mu.Unlock()
+	nv.records = append(nv.records, r)
+	nv.used += r.bytes()
+	return nv.used >= nv.capacity
+}
+
+// clear discards all records (their effects are durable in the log now).
+func (nv *NVRAM) clear() {
+	nv.mu.Lock()
+	defer nv.mu.Unlock()
+	nv.records = nil
+	nv.used = 0
+}
+
+// snapshot returns the records for replay.
+func (nv *NVRAM) snapshot() []nvRecord {
+	nv.mu.Lock()
+	defer nv.mu.Unlock()
+	out := make([]nvRecord, len(nv.records))
+	copy(out, nv.records)
+	return out
+}
+
+// nvLog records a mutating operation in the NVRAM, if one is configured,
+// and flushes the log when the NVRAM fills. Called with fs.mu held, at
+// the end of each successful public operation.
+func (fs *FS) nvLog(r nvRecord) error {
+	nv := fs.opts.NVRAM
+	if nv == nil || fs.nvReplaying {
+		return nil
+	}
+	if full := nv.append(r); full {
+		if err := fs.flushLog(); err != nil {
+			return err
+		}
+		nv.clear()
+	}
+	return nil
+}
+
+// nvClear empties the NVRAM after a flush made its contents recoverable
+// from the log. Flushes issued by recovery itself (the roll-forward
+// commit) must not clear it: the records are about to be replayed.
+func (fs *FS) nvClear() {
+	if nv := fs.opts.NVRAM; nv != nil && !fs.nvReplaying && !fs.inRecovery {
+		nv.clear()
+	}
+}
+
+// replayNVRAM reapplies the operations that were buffered in NVRAM when
+// the crash happened. Mount calls it after roll-forward, so each record
+// either re-applies cleanly or is detected as already durable.
+func (fs *FS) replayNVRAM() error {
+	nv := fs.opts.NVRAM
+	if nv == nil {
+		return nil
+	}
+	records := nv.snapshot()
+	if len(records) == 0 {
+		return nil
+	}
+	fs.nvReplaying = true
+	defer func() { fs.nvReplaying = false }()
+	for i, r := range records {
+		if err := fs.replayOne(r); err != nil {
+			return fmt.Errorf("nvram replay %d (%s): %w", i, r.path, err)
+		}
+	}
+	if err := fs.flushLog(); err != nil {
+		return err
+	}
+	nv.clear()
+	return nil
+}
+
+func (fs *FS) replayOne(r nvRecord) error {
+	exists := func(p string) bool {
+		_, err := fs.resolve(p)
+		return err == nil
+	}
+	switch r.kind {
+	case nvCreate:
+		if exists(r.path) {
+			return nil
+		}
+		dir, name, err := fs.resolveParent(r.path)
+		if err != nil {
+			return err
+		}
+		_, err = fs.createNode(dir, name, layout.FileTypeRegular)
+		return err
+	case nvMkdir:
+		if exists(r.path) {
+			return nil
+		}
+		dir, name, err := fs.resolveParent(r.path)
+		if err != nil {
+			return err
+		}
+		_, err = fs.createNode(dir, name, layout.FileTypeDir)
+		return err
+	case nvWriteAt:
+		mi, err := fs.resolveFile(r.path)
+		if err != nil {
+			return err
+		}
+		_, err = fs.writeAt(mi, r.offset, r.data)
+		return err
+	case nvWriteFile:
+		if !exists(r.path) {
+			dir, name, err := fs.resolveParent(r.path)
+			if err != nil {
+				return err
+			}
+			if _, err := fs.createNode(dir, name, layout.FileTypeRegular); err != nil {
+				return err
+			}
+		}
+		mi, err := fs.resolveFile(r.path)
+		if err != nil {
+			return err
+		}
+		if err := fs.truncate(mi, 0); err != nil {
+			return err
+		}
+		if len(r.data) > 0 {
+			if _, err := fs.writeAt(mi, 0, r.data); err != nil {
+				return err
+			}
+		}
+		return nil
+	case nvTruncate:
+		mi, err := fs.resolveFile(r.path)
+		if err != nil {
+			return err
+		}
+		return fs.truncate(mi, r.size)
+	case nvRemove:
+		if !exists(r.path) {
+			return nil // the remove reached the log before the crash
+		}
+		dir, name, err := fs.resolveParent(r.path)
+		if err != nil {
+			return err
+		}
+		inum, ok, err := fs.lookup(dir, name)
+		if err != nil || !ok {
+			return err
+		}
+		return fs.unlinkLocked(dir, name, inum)
+	case nvRename:
+		if !exists(r.path) {
+			return nil // already renamed (or never created: nothing to do)
+		}
+		return fs.renameLocked(r.path, r.path2)
+	case nvLink:
+		if exists(r.path2) {
+			return nil
+		}
+		return fs.linkLocked(r.path, r.path2)
+	default:
+		return fmt.Errorf("%w: unknown NVRAM record kind %d", ErrCorrupt, r.kind)
+	}
+}

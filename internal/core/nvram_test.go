@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/layout"
+)
+
+func TestNVRAMPreservesUnsyncedWrites(t *testing.T) {
+	d := disk.MustNew(disk.DefaultGeometry(4096))
+	nv := NewNVRAM(1 << 20)
+	opts := testOptions()
+	opts.NVRAM = nv
+	fs, err := Format(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/buffered", []byte("never synced")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/dir/nested", []byte("also buffered")); err != nil {
+		t.Fatal(err)
+	}
+	// No Sync, no Checkpoint: the data lives only in the volatile cache
+	// and the NVRAM redo log.
+	d.Crash()
+	d.Reopen()
+
+	// Without the NVRAM the data is gone.
+	plain, err := Mount(d, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Stat("/buffered"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unsynced file present without NVRAM: %v", err)
+	}
+
+	// With it, everything is replayed.
+	d.Crash()
+	d.Reopen()
+	fs2, err := Mount(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile("/buffered")
+	if err != nil || string(got) != "never synced" {
+		t.Fatalf("buffered file: %q, %v", got, err)
+	}
+	got, err = fs2.ReadFile("/dir/nested")
+	if err != nil || string(got) != "also buffered" {
+		t.Fatalf("nested file: %q, %v", got, err)
+	}
+	if nv.Pending() != 0 {
+		t.Fatalf("%d records left in NVRAM after replay", nv.Pending())
+	}
+	mustCheck(t, fs2)
+}
+
+func TestNVRAMClearedByFlush(t *testing.T) {
+	d := disk.MustNew(disk.DefaultGeometry(4096))
+	nv := NewNVRAM(1 << 20)
+	opts := testOptions()
+	opts.NVRAM = nv
+	fs, err := Format(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if nv.Pending() == 0 {
+		t.Fatal("operation not recorded in NVRAM")
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if nv.Pending() != 0 {
+		t.Fatalf("NVRAM holds %d records after a flush made them durable", nv.Pending())
+	}
+}
+
+func TestNVRAMFillForcesFlush(t *testing.T) {
+	d := disk.MustNew(disk.DefaultGeometry(4096))
+	nv := NewNVRAM(64 << 10) // tiny: fills after a few block writes
+	opts := testOptions()
+	opts.NVRAM = nv
+	fs, err := Format(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/f%02d", i), make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if used := nv.Used(); used >= 64<<10 {
+		t.Fatalf("NVRAM over capacity: %d bytes", used)
+	}
+	mustCheck(t, fs)
+}
+
+func TestNVRAMReplaysDeletesAndRenames(t *testing.T) {
+	d := disk.MustNew(disk.DefaultGeometry(4096))
+	nv := NewNVRAM(1 << 20)
+	opts := testOptions()
+	opts.NVRAM = nv
+	fs, err := Format(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/victim", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/mover", []byte("moving")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint, unsynced: delete one file, rename and link others,
+	// truncate a third.
+	if err := fs.Remove("/victim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/mover", "/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/trunc", bytes.Repeat([]byte("t"), 3*layout.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate("/trunc", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/moved", "/alias"); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	d.Reopen()
+	fs2, err := Mount(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.Stat("/victim"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted file resurrected: %v", err)
+	}
+	got, err := fs2.ReadFile("/moved")
+	if err != nil || string(got) != "moving" {
+		t.Fatalf("renamed: %q, %v", got, err)
+	}
+	info, err := fs2.Stat("/trunc")
+	if err != nil || info.Size != 10 {
+		t.Fatalf("truncated: %+v, %v", info, err)
+	}
+	alias, err := fs2.Stat("/alias")
+	if err != nil || alias.Nlink != 2 {
+		t.Fatalf("link: %+v, %v", alias, err)
+	}
+	mustCheck(t, fs2)
+}
+
+// Property: with NVRAM attached, a crash at any point after any workload
+// loses nothing at all — the model matches exactly even without Sync.
+func TestNVRAMModelEquivalenceAfterCrash(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		script := opScript{Seed: seed, N: 50}
+		d := disk.MustNew(disk.DefaultGeometry(8192))
+		nv := NewNVRAM(16 << 20)
+		opts := testOptions()
+		opts.NVRAM = nv
+		fs, err := Format(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := newModelFS()
+		script.apply(t, fs, model)
+		// No sync. Power cut.
+		d.Crash()
+		d.Reopen()
+		fs2, err := Mount(d, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		model.verify(t, fs2)
+		mustCheck(t, fs2)
+	}
+}

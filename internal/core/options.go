@@ -1,0 +1,121 @@
+package core
+
+// CleaningPolicy selects how the cleaner chooses segments to clean
+// (Section 3.4, policy question 3).
+type CleaningPolicy int
+
+// Cleaning policies.
+const (
+	// PolicyCostBenefit rates segments by (1-u)*age/(1+u) and cleans the
+	// highest ratio first (Section 3.6). This is the paper's headline
+	// policy: it cleans cold segments at much higher utilization than hot
+	// segments and produces the bimodal segment distribution.
+	PolicyCostBenefit CleaningPolicy = iota
+	// PolicyGreedy always cleans the least-utilized segments. The paper
+	// shows it performs poorly under workloads with locality (Figure 5).
+	PolicyGreedy
+)
+
+// String implements fmt.Stringer.
+func (p CleaningPolicy) String() string {
+	switch p {
+	case PolicyCostBenefit:
+		return "cost-benefit"
+	case PolicyGreedy:
+		return "greedy"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configure Format and Mount. The zero value is completed by
+// (*Options).withDefaults; defaults follow the paper's production
+// configuration (Section 5.1): 4 KB blocks, 512 KB segments, cleaning
+// starts when clean segments drop below a few tens and stops past a
+// higher threshold, cost-benefit selection with age-sorted output.
+type Options struct {
+	// SegmentBlocks is the segment size in blocks (default 128 = 512 KB).
+	SegmentBlocks int
+	// MaxInodes bounds the inode table (default 65536).
+	MaxInodes int
+	// CleanLowWater starts the cleaner when clean segments fall below it
+	// (default 16; Section 3.4 "a few tens of segments").
+	CleanLowWater int
+	// CleanHighWater stops the cleaner once clean segments exceed it
+	// (default 32; Section 3.4 "50-100 clean segments" on larger disks).
+	CleanHighWater int
+	// CleanBatch is how many segments are cleaned per pass (default 8;
+	// Section 3.4 policy question 2).
+	CleanBatch int
+	// Policy selects the segment-selection policy (default cost-benefit).
+	Policy CleaningPolicy
+	// NoAgeSort disables sorting live blocks by age before rewriting them
+	// (Section 3.4 policy question 4). Age sorting is on by default.
+	NoAgeSort bool
+	// CoarseAgeSort sorts cleaned blocks by the file's single modified
+	// time, Sprite LFS's original behaviour, instead of the per-block
+	// modified times this implementation records in segment summaries
+	// (the improvement Section 3.6 says Sprite planned).
+	CoarseAgeSort bool
+	// CleanReadLiveOnly makes the cleaner read only the summary blocks
+	// and the live blocks of a segment instead of the whole segment.
+	// Section 3.4 conjectures this "may be faster ... particularly if the
+	// utilization is very low (we haven't tried this in Sprite LFS)"; the
+	// trade is fewer bytes read against more, smaller read requests.
+	CleanReadLiveOnly bool
+	// WriteBufferBlocks is how many dirty blocks accumulate in the file
+	// cache before the log is flushed (default: one segment's worth).
+	// Larger buffers batch more blocks per log write; smaller buffers
+	// model NFS-like eager write-back.
+	WriteBufferBlocks int
+	// CheckpointEveryBytes forces a checkpoint after this much new data
+	// has been logged (0 disables; Section 4.1 discusses this policy as
+	// the alternative to fixed intervals). Unmount always checkpoints.
+	CheckpointEveryBytes int64
+	// ReadCacheBlocks bounds the clean-block read cache (default 0: reads
+	// always hit the disk, which is what the paper's micro-benchmarks
+	// measure after their cache flush).
+	ReadCacheBlocks int
+	// Clock supplies logical time for mtimes and cleaning ages. The
+	// default is an internal tick that advances on every operation.
+	Clock func() uint64
+	// NoRollForward makes Mount discard everything after the most recent
+	// checkpoint instead of rolling forward (the paper's production
+	// configuration, Section 5).
+	NoRollForward bool
+	// NVRAM attaches a battery-backed write buffer (Section 2.1): every
+	// acknowledged operation survives a crash even before it reaches the
+	// log. Pass the same NVRAM to Mount after a crash to replay it.
+	// NVRAM assumes roll-forward mounts.
+	NVRAM *NVRAM
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBlocks == 0 {
+		o.SegmentBlocks = 128
+	}
+	if o.MaxInodes == 0 {
+		o.MaxInodes = 65536
+	}
+	if o.WriteBufferBlocks == 0 {
+		o.WriteBufferBlocks = o.SegmentBlocks
+	}
+	if o.CleanLowWater == 0 {
+		o.CleanLowWater = 16
+	}
+	// Cleaning must start before ordinary writes hit the cleaner-only
+	// segment reserve, with margin for two in-flight buffer flushes.
+	if min := reserveSegments + 2 + 2*o.WriteBufferBlocks/o.SegmentBlocks; o.CleanLowWater < min {
+		o.CleanLowWater = min
+	}
+	if o.CleanHighWater == 0 {
+		o.CleanHighWater = 32
+	}
+	if o.CleanHighWater <= o.CleanLowWater {
+		o.CleanHighWater = 2 * o.CleanLowWater
+	}
+	if o.CleanBatch == 0 {
+		o.CleanBatch = 8
+	}
+	return o
+}

@@ -1,0 +1,614 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/layout"
+)
+
+// Mount opens an existing log-structured file system. Recovery follows
+// Section 4: read the newer of the two checkpoint regions, initialize the
+// in-memory structures from it, and (unless opts.NoRollForward) scan the
+// log written since the checkpoint to recover as much information as
+// possible, repairing directory/inode consistency with the directory
+// operation log and adjusting segment utilizations.
+func Mount(dev *disk.Disk, opts Options) (*FS, error) {
+	opts = opts.withDefaults()
+	sbBuf, err := dev.ReadBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := layout.DecodeSuperblock(sbBuf)
+	if err != nil {
+		return nil, err
+	}
+	// Geometry comes from the superblock, not the caller.
+	opts.SegmentBlocks = int(sb.SegmentBlocks)
+	opts.MaxInodes = int(sb.MaxInodes)
+
+	cp, which, err := readBestCheckpoint(dev, sb)
+	if err != nil {
+		return nil, err
+	}
+
+	fs := newFS(dev, opts, sb)
+	fs.cpSeq = cp.Seq
+	fs.cpWhich = 1 - which
+	fs.nextInum = cp.NextInum
+	fs.head = cp.HeadSeg
+	fs.headOff = int64(cp.HeadOffset)
+	fs.nextSeg = cp.NextSeg
+	fs.writeSeq = cp.WriteSeq
+	fs.dirLogSeq = cp.DirLogSeq
+	fs.ticks = cp.Timestamp
+
+	// Load the inode map and segment usage table from the addresses in
+	// the checkpoint region.
+	if len(cp.ImapAddrs) != len(fs.imap.blockAddr) || len(cp.UsageAddrs) != len(fs.usage.blockAddr) {
+		return nil, fmt.Errorf("%w: checkpoint has %d imap + %d usage blocks, want %d + %d",
+			ErrCorrupt, len(cp.ImapAddrs), len(cp.UsageAddrs), len(fs.imap.blockAddr), len(fs.usage.blockAddr))
+	}
+	copy(fs.imap.blockAddr, cp.ImapAddrs)
+	copy(fs.usage.blockAddr, cp.UsageAddrs)
+	for i, addr := range cp.ImapAddrs {
+		if addr == layout.NilAddr {
+			continue
+		}
+		buf, err := dev.ReadBlock(addr)
+		if err != nil {
+			return nil, err
+		}
+		if err := fs.imap.loadBlock(buf, i); err != nil {
+			return nil, err
+		}
+	}
+	for i, addr := range cp.UsageAddrs {
+		if addr == layout.NilAddr {
+			continue
+		}
+		buf, err := dev.ReadBlock(addr)
+		if err != nil {
+			return nil, err
+		}
+		if err := fs.usage.loadBlock(buf, i); err != nil {
+			return nil, err
+		}
+	}
+
+	fs.rebuildInoBlockRefs()
+	refsBefore := make(map[int64]int, len(fs.inoBlockRefs))
+	for a, n := range fs.inoBlockRefs {
+		refsBefore[a] = n
+	}
+	fs.rebuildFreeInums()
+	fs.mounted = true
+
+	fs.recomputeSegs = map[int64]bool{fs.head: true}
+	var dirops []*layout.DirOp
+	if !opts.NoRollForward {
+		fs.inRecovery = true
+		dirops, err = fs.rollForwardScan(cp)
+		if err != nil {
+			fs.inRecovery = false
+			return nil, err
+		}
+	}
+
+	fs.rebuildFreeSegs()
+
+	// The scan moved inodes; refresh the reference counts, then release
+	// the inode blocks the scan fully superseded. The repair pass below
+	// maintains the counts incrementally, so this runs exactly once.
+	fs.rebuildInoBlockRefs()
+	for addr := range refsBefore {
+		if fs.inoBlockRefs[addr] == 0 {
+			if err := fs.decLive(addr); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if !opts.NoRollForward {
+		if err := fs.applyDirOps(dirops); err != nil {
+			fs.inRecovery = false
+			return nil, err
+		}
+	}
+	fs.rebuildFreeInums()
+
+	// Recompute exact utilizations for every segment touched since the
+	// checkpoint (Section 4.2: "the roll-forward code also adjusts the
+	// utilizations in the segment usage table").
+	if err := fs.recomputeUsage(); err != nil {
+		return nil, err
+	}
+	fs.recomputeSegs = nil
+
+	// The checkpoint-time head may no longer be the head after
+	// roll-forward; only the current head carries the active flag.
+	for s := int64(0); s < fs.nsegs; s++ {
+		fs.usage.setActive(s, false)
+	}
+	fs.usage.setActive(fs.head, true)
+	if fs.nextSeg == layout.NilAddr || !fs.usage.isClean(fs.nextSeg) {
+		// Remove the stale next segment from the free list if present.
+		fs.nextSeg = fs.popFreeSeg()
+	} else {
+		fs.removeFreeSeg(fs.nextSeg)
+	}
+
+	if !opts.NoRollForward {
+		// Commit the recovered state (Section 4.2: the recovery program
+		// appends the changed directories, inodes, inode map and segment
+		// usage table blocks to the log and writes a new checkpoint).
+		if err := fs.checkpointLocked(); err != nil {
+			fs.inRecovery = false
+			return nil, err
+		}
+		fs.inRecovery = false
+	}
+	// Replay the battery-backed write buffer, if one is attached: the
+	// operations it holds were acknowledged but had not reached the log
+	// when the crash happened (Section 2.1).
+	if err := fs.replayNVRAM(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// readBestCheckpoint reads both checkpoint regions and returns the valid
+// one with the newest sequence number (Section 4.1).
+func readBestCheckpoint(dev *disk.Disk, sb *layout.Superblock) (*layout.Checkpoint, int, error) {
+	var best *layout.Checkpoint
+	which := -1
+	for i := 0; i < 2; i++ {
+		buf := make([]byte, int(sb.CheckpointBlocks)*layout.BlockSize)
+		if err := dev.Read(sb.CheckpointAddr[i], buf); err != nil {
+			return nil, 0, err
+		}
+		cp, err := layout.DecodeCheckpoint(buf)
+		if err != nil {
+			continue // torn or never written
+		}
+		if best == nil || cp.Seq > best.Seq {
+			best = cp
+			which = i
+		}
+	}
+	if best == nil {
+		return nil, 0, ErrNoCheckpoint
+	}
+	return best, which, nil
+}
+
+func (fs *FS) rebuildInoBlockRefs() {
+	fs.inoBlockRefs = make(map[int64]int)
+	for _, e := range fs.imap.entries {
+		if e.Allocated() {
+			fs.inoBlockRefs[e.Addr]++
+		}
+	}
+}
+
+func (fs *FS) rebuildFreeInums() {
+	fs.freeInums = fs.freeInums[:0]
+	for inum := fs.nextInum; inum > RootInum+1; inum-- {
+		e := fs.imap.get(inum - 1)
+		if !e.Allocated() {
+			fs.freeInums = append(fs.freeInums, inum-1)
+		}
+	}
+}
+
+func (fs *FS) rebuildFreeSegs() {
+	fs.freeSegs = fs.freeSegs[:0]
+	for s := int64(0); s < fs.nsegs; s++ {
+		if s == fs.head || s == fs.nextSeg || fs.recomputeSegs[s] {
+			continue
+		}
+		if fs.usage.isClean(s) {
+			fs.freeSegs = append(fs.freeSegs, s)
+		}
+	}
+}
+
+func (fs *FS) removeFreeSeg(seg int64) {
+	for i, s := range fs.freeSegs {
+		if s == seg {
+			fs.freeSegs = append(fs.freeSegs[:i], fs.freeSegs[i+1:]...)
+			return
+		}
+	}
+}
+
+// rollForwardScan reads the log written after the checkpoint, following
+// the segment thread. Valid partial writes (checksummed summary, matching
+// write sequence, intact data) are incorporated: inode blocks update the
+// inode map — which automatically incorporates the files' new data blocks
+// — and directory-operation-log records are collected for the repair
+// pass. The scan stops at the first hole in the log.
+func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
+	expected := cp.WriteSeq
+	seg := cp.HeadSeg
+	off := int64(cp.HeadOffset)
+	next := cp.NextSeg
+	var dirops []*layout.DirOp
+
+	for {
+		if off > fs.segBlocks-2 {
+			if next == layout.NilAddr {
+				break
+			}
+			seg = next
+			off = 0
+			fs.recomputeSegs[seg] = true
+			continue
+		}
+		sumAddr := fs.segStart(seg) + off
+		sumBuf, err := fs.dev.ReadBlock(sumAddr)
+		if err != nil {
+			return nil, err
+		}
+		s, err := layout.DecodeSummary(sumBuf)
+		if err != nil || s.WriteSeq != expected {
+			break // end of the recoverable log
+		}
+		n := int64(len(s.Entries))
+		if n == 0 || off+1+n > fs.segBlocks {
+			break
+		}
+		// The log writer persists a partial write's data before its
+		// summary, so a valid summary implies complete data: only the
+		// inode and directory-log blocks need to be read. This is what
+		// keeps recovery time proportional to the number of files
+		// recovered rather than the volume of data (Table 3).
+		for i, e := range s.Entries {
+			addr := sumAddr + 1 + int64(i)
+			switch e.Kind {
+			case layout.KindInode:
+				block, err := fs.dev.ReadBlock(addr)
+				if err != nil {
+					return nil, err
+				}
+				if err := fs.recoverInodeBlock(addr, block); err != nil {
+					return nil, err
+				}
+			case layout.KindDirLog:
+				block, err := fs.dev.ReadBlock(addr)
+				if err != nil {
+					return nil, err
+				}
+				ops, err := layout.DecodeDirOpLog(block)
+				if err != nil {
+					return nil, fmt.Errorf("roll-forward dirlog at %d: %w", addr, err)
+				}
+				for _, op := range ops {
+					if op.Seq >= cp.DirLogSeq {
+						dirops = append(dirops, op)
+						if op.Seq >= fs.dirLogSeq {
+							fs.dirLogSeq = op.Seq + 1
+						}
+					}
+				}
+			}
+			// Data, indirect, imap and usage blocks need no direct
+			// action: inodes incorporate data and indirect blocks, and
+			// the checkpoint regions are the authority for map blocks.
+		}
+
+		fs.usage.noteWrite(seg, s.Timestamp)
+		if s.Timestamp > fs.ticks {
+			fs.ticks = s.Timestamp
+		}
+		next = s.NextSeg
+		expected++
+		off += 1 + n
+	}
+
+	fs.writeSeq = expected
+	fs.head = seg
+	fs.headOff = off
+	fs.nextSeg = next
+	return dirops, nil
+}
+
+// recoverInodeBlock incorporates a packed inode block discovered during
+// roll-forward: every inode that is at least as new as the inode map's
+// version replaces the map entry, and the live-byte accounting of older
+// segments is adjusted for the blocks the update superseded.
+func (fs *FS) recoverInodeBlock(addr int64, block []byte) error {
+	inodes, err := layout.DecodeInodeBlock(block)
+	if err != nil {
+		return fmt.Errorf("roll-forward inode block at %d: %w", addr, err)
+	}
+	for slot, ino := range inodes {
+		if int(ino.Inum) >= fs.imap.maxInodes() {
+			return fmt.Errorf("%w: recovered inum %d out of range", ErrCorrupt, ino.Inum)
+		}
+		e := fs.imap.get(ino.Inum)
+		if ino.Version < e.Version {
+			continue // stale incarnation of a deleted file
+		}
+		// Adjust usage: blocks referenced only by the old incarnation
+		// die; blocks referenced by the new one are counted (segments
+		// being recomputed are skipped in both directions).
+		if e.Allocated() {
+			oldAddrs, err := fs.inodeMapAddrs(e.Addr, e.Slot)
+			if err != nil {
+				return err
+			}
+			for _, a := range oldAddrs {
+				if err := fs.decLive(a); err != nil {
+					return err
+				}
+			}
+		}
+		newAddrs, err := fs.collectMapAddrs(ino)
+		if err != nil {
+			return err
+		}
+		for _, a := range newAddrs {
+			if err := fs.incLiveRecovery(a); err != nil {
+				return err
+			}
+		}
+		fs.imap.setLocation(ino.Inum, addr, uint16(slot))
+		fs.imap.setVersion(ino.Inum, ino.Version)
+		if ino.Inum >= fs.nextInum {
+			fs.nextInum = ino.Inum + 1
+		}
+		// The decoded inode is the newest state seen so far; install it
+		// so the repair pass works from memory instead of re-reading one
+		// inode block per recovered file.
+		fs.icache[ino.Inum] = newMInode(ino)
+		delete(fs.dirCache, ino.Inum)
+		delete(fs.dirBytes, ino.Inum)
+	}
+	return nil
+}
+
+// incLiveRecovery credits a block discovered during roll-forward, unless
+// its segment will be recomputed exactly afterwards.
+func (fs *FS) incLiveRecovery(addr int64) error {
+	seg := fs.segOf(addr)
+	if seg < 0 || seg >= fs.nsegs {
+		return fmt.Errorf("%w: recovered address %d outside segment area", ErrCorrupt, addr)
+	}
+	if fs.recomputeSegs[seg] {
+		return nil
+	}
+	return fs.usage.addLive(seg, layout.BlockSize)
+}
+
+// inodeMapAddrs reads the inode stored at (addr, slot) and returns every
+// disk address its block map references.
+func (fs *FS) inodeMapAddrs(addr int64, slot uint16) ([]int64, error) {
+	buf, err := fs.dev.ReadBlock(addr)
+	if err != nil {
+		return nil, err
+	}
+	inodes, err := layout.DecodeInodeBlock(buf)
+	if err != nil {
+		return nil, fmt.Errorf("old inode block at %d: %w", addr, err)
+	}
+	if int(slot) >= len(inodes) {
+		return nil, fmt.Errorf("%w: inode slot %d of block %d", ErrCorrupt, slot, addr)
+	}
+	return fs.collectMapAddrs(inodes[slot])
+}
+
+// collectMapAddrs returns every disk address referenced by the inode's
+// block map: data blocks plus the indirect blocks themselves.
+func (fs *FS) collectMapAddrs(ino *layout.Inode) ([]int64, error) {
+	var out []int64
+	for _, a := range ino.Direct {
+		if a != layout.NilAddr {
+			out = append(out, a)
+		}
+	}
+	if ino.Indirect != layout.NilAddr {
+		out = append(out, ino.Indirect)
+		buf, err := fs.dev.ReadBlock(ino.Indirect)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range layout.DecodeIndirectBlock(buf) {
+			if a != layout.NilAddr {
+				out = append(out, a)
+			}
+		}
+	}
+	if ino.DIndir != layout.NilAddr {
+		out = append(out, ino.DIndir)
+		top, err := fs.dev.ReadBlock(ino.DIndir)
+		if err != nil {
+			return nil, err
+		}
+		for _, l2addr := range layout.DecodeIndirectBlock(top) {
+			if l2addr == layout.NilAddr {
+				continue
+			}
+			out = append(out, l2addr)
+			l2, err := fs.dev.ReadBlock(l2addr)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range layout.DecodeIndirectBlock(l2) {
+				if a != layout.NilAddr {
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// applyDirOps replays the directory operation log against the recovered
+// state, restoring consistency between directory entries and inode
+// reference counts (Section 4.2). Operations whose inode never reached
+// the log are undone (the directory entry is removed).
+func (fs *FS) applyDirOps(ops []*layout.DirOp) error {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
+	for _, op := range ops {
+		switch op.Op {
+		case layout.DirOpCreate, layout.DirOpLink:
+			if err := fs.repairEntry(op.Dir, op.Name, op.Inum, op.Version, op.NewNlink); err != nil {
+				return err
+			}
+		case layout.DirOpUnlink:
+			if err := fs.repairRemoveEntry(op.Dir, op.Name, op.Inum); err != nil {
+				return err
+			}
+			if err := fs.repairNlink(op.Inum, op.Version, op.NewNlink); err != nil {
+				return err
+			}
+		case layout.DirOpRename:
+			// A rename completes only if both the file's inode and the
+			// destination directory are recoverable; otherwise it is
+			// undone so the file stays reachable under its old name.
+			ie := fs.imap.get(op.Inum)
+			inodeOK := ie.Allocated() && ie.Version == op.Version
+			dstOK := fs.imap.get(op.Dir2).Allocated()
+			if inodeOK && !dstOK {
+				if err := fs.repairEntry(op.Dir, op.Name, op.Inum, op.Version, op.NewNlink); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := fs.repairRemoveEntry(op.Dir, op.Name, op.Inum); err != nil {
+				return err
+			}
+			if err := fs.repairEntry(op.Dir2, op.Name2, op.Inum, op.Version, op.NewNlink); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// repairEntry ensures directory dir maps name to inum (when the recorded
+// incarnation of the inode exists) or drops the entry (when the inode
+// never reached the log), and sets the inode's reference count. The
+// version check stops a record from acting on a newer incarnation of a
+// reused inode number.
+func (fs *FS) repairEntry(dir uint32, name string, inum, version uint32, nlink uint16) error {
+	if !fs.imap.get(dir).Allocated() {
+		return nil // the directory itself was never recovered
+	}
+	entries, err := fs.loadDir(dir)
+	if err != nil {
+		return err
+	}
+	ie := fs.imap.get(inum)
+	exists := ie.Allocated() && ie.Version == version
+	idx := -1
+	for i, e := range entries {
+		if e.Name == name {
+			idx = i
+			break
+		}
+	}
+	switch {
+	case exists && idx < 0:
+		entries = append(entries, layout.DirEntry{Inum: inum, Name: name})
+		if err := fs.saveDir(dir, entries); err != nil {
+			return err
+		}
+	case !exists && idx >= 0:
+		entries = append(entries[:idx], entries[idx+1:]...)
+		if err := fs.saveDir(dir, entries); err != nil {
+			return err
+		}
+	case exists && idx >= 0 && entries[idx].Inum != inum:
+		entries[idx].Inum = inum
+		if err := fs.saveDir(dir, entries); err != nil {
+			return err
+		}
+	}
+	if exists {
+		return fs.repairNlink(inum, version, nlink)
+	}
+	return nil
+}
+
+// repairRemoveEntry ensures the (dir, name) entry naming inum is absent.
+func (fs *FS) repairRemoveEntry(dir uint32, name string, inum uint32) error {
+	if !fs.imap.get(dir).Allocated() {
+		return nil
+	}
+	entries, err := fs.loadDir(dir)
+	if err != nil {
+		return err
+	}
+	for i, e := range entries {
+		if e.Name == name && e.Inum == inum {
+			entries = append(entries[:i], entries[i+1:]...)
+			return fs.saveDir(dir, entries)
+		}
+	}
+	return nil
+}
+
+// repairNlink sets the inode's reference count, deleting the file when it
+// reaches zero. Records for stale incarnations of a reused inum are
+// ignored.
+func (fs *FS) repairNlink(inum, version uint32, nlink uint16) error {
+	e := fs.imap.get(inum)
+	if !e.Allocated() || e.Version != version {
+		return nil
+	}
+	if nlink == 0 {
+		return fs.removeFile(inum)
+	}
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		return err
+	}
+	if mi.ino.Nlink != nlink {
+		mi.ino.Nlink = nlink
+		fs.markInodeDirty(inum)
+	}
+	return nil
+}
+
+// recomputeUsage recalculates exact live-byte counts for every segment in
+// fs.recomputeSegs by walking its summary chain and liveness-checking
+// every block against the recovered metadata.
+func (fs *FS) recomputeUsage() error {
+	for seg := range fs.recomputeSegs {
+		start := fs.segStart(seg)
+		var liveBlocks int64
+		off := int64(0)
+		for off <= fs.segBlocks-2 {
+			buf, err := fs.dev.ReadBlock(start + off)
+			if err != nil {
+				return err
+			}
+			s, err := layout.DecodeSummary(buf)
+			if err != nil {
+				break
+			}
+			n := int64(len(s.Entries))
+			if n == 0 || off+1+n > fs.segBlocks {
+				break
+			}
+			for i, e := range s.Entries {
+				live, err := fs.blockLive(e, start+off+1+int64(i))
+				if err != nil {
+					return err
+				}
+				if live {
+					liveBlocks++
+				}
+			}
+			off += 1 + n
+		}
+		fs.usage.entries[seg].LiveBytes = uint32(liveBlocks * layout.BlockSize)
+		if off > 0 {
+			fs.usage.entries[seg].Flags |= layout.SegFlagDirty
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+const imageMagic uint32 = 0x4c445349 // "LDSI": LFS disk image
+
+// Save writes the device contents to a sparse image file. Only blocks
+// that have been written are stored, so images stay small. Statistics and
+// fault-injection state are not saved.
+func (d *Disk) Save(path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	le := binary.LittleEndian
+	hdr := make([]byte, 40)
+	le.PutUint32(hdr[0:], imageMagic)
+	le.PutUint32(hdr[4:], uint32(d.geo.BlockSize))
+	le.PutUint64(hdr[8:], uint64(d.geo.NumBlocks))
+	le.PutUint64(hdr[16:], uint64(d.geo.MinSeek))
+	le.PutUint64(hdr[24:], uint64(d.geo.MaxSeek))
+	le.PutUint64(hdr[32:], uint64(d.geo.RotationTime))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	bw := make([]byte, 8)
+	le.PutUint64(bw, uint64(int64(d.geo.BandwidthBytesPerSec)))
+	if _, err := w.Write(bw); err != nil {
+		return err
+	}
+	addr := make([]byte, 8)
+	for i, b := range d.data {
+		if b == nil {
+			continue
+		}
+		le.PutUint64(addr, uint64(i))
+		if _, err := w.Write(addr); err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Load reads an image saved by Save and returns a new device with the
+// same geometry and contents.
+func Load(path string) (*Disk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	le := binary.LittleEndian
+	hdr := make([]byte, 48)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("disk: short image header: %w", err)
+	}
+	if le.Uint32(hdr[0:]) != imageMagic {
+		return nil, fmt.Errorf("disk: %s is not a disk image", path)
+	}
+	geo := Geometry{
+		BlockSize:            int(le.Uint32(hdr[4:])),
+		NumBlocks:            int64(le.Uint64(hdr[8:])),
+		MinSeek:              time.Duration(le.Uint64(hdr[16:])),
+		MaxSeek:              time.Duration(le.Uint64(hdr[24:])),
+		RotationTime:         time.Duration(le.Uint64(hdr[32:])),
+		BandwidthBytesPerSec: float64(int64(le.Uint64(hdr[40:]))),
+	}
+	d, err := New(geo)
+	if err != nil {
+		return nil, err
+	}
+	addr := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(r, addr); err == io.EOF {
+			return d, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("disk: corrupt image: %w", err)
+		}
+		a := int64(le.Uint64(addr))
+		if a < 0 || a >= geo.NumBlocks {
+			return nil, fmt.Errorf("disk: image block %d out of range", a)
+		}
+		b := make([]byte, geo.BlockSize)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("disk: corrupt image block %d: %w", a, err)
+		}
+		d.data[a] = b
+	}
+}

@@ -1,0 +1,82 @@
+package disk
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "test.img")
+
+	d := MustNew(DefaultGeometry(128))
+	blk := make([]byte, d.BlockSize())
+	for i := range blk {
+		blk[i] = 0xcd
+	}
+	for _, a := range []int64{0, 5, 127} {
+		if err := d.WriteBlock(a, blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Save(img); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Geometry() != d.Geometry() {
+		t.Fatalf("geometry mismatch: %+v vs %+v", d2.Geometry(), d.Geometry())
+	}
+	for _, a := range []int64{0, 5, 127} {
+		got, err := d2.Peek(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, blk) {
+			t.Fatalf("block %d content lost", a)
+		}
+	}
+	// Unwritten blocks stay zero.
+	got, _ := d2.Peek(64)
+	if got[0] != 0 {
+		t.Fatal("unwritten block nonzero after load")
+	}
+}
+
+func TestSaveIsSparse(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "sparse.img")
+	d := MustNew(DefaultGeometry(100000)) // 400 MB device
+	if err := d.WriteBlock(0, make([]byte, d.BlockSize())); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(img); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 64*1024 {
+		t.Fatalf("image of a nearly empty 400 MB device is %d bytes", fi.Size())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.img")
+	if err := os.WriteFile(bad, []byte("not an image at all, definitely not 48 bytes of header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.img")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package ffs
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// totalFreeBlocks returns free data blocks across all groups.
+func (fs *FS) totalFreeBlocks() int {
+	total := 0
+	for _, g := range fs.groups {
+		total += g.freeBlocks
+	}
+	return total
+}
+
+func (fs *FS) totalDataBlocks() int {
+	return fs.ngroups * (fs.opts.GroupBlocks - int(fs.dataStart))
+}
+
+// allocInode allocates an inode number. Directories rotate across groups
+// to spread them out; files go in their parent directory's group when
+// possible (the FFS placement policy).
+func (fs *FS) allocInode(preferredGroup int, isDir bool) (uint32, error) {
+	start := preferredGroup
+	if isDir {
+		start = fs.nextDirGroup
+		fs.nextDirGroup = (fs.nextDirGroup + 1) % fs.ngroups
+	}
+	for probe := 0; probe < fs.ngroups; probe++ {
+		g := (start + probe) % fs.ngroups
+		grp := fs.groups[g]
+		if grp.freeInodes == 0 {
+			continue
+		}
+		for idx := 0; idx < fs.opts.InodesPerGroup; idx++ {
+			if g == 0 && idx <= int(RootInum) {
+				continue // inum 0 is invalid, inum 1 is the root
+			}
+			if !grp.inodeInUse[idx] {
+				grp.inodeInUse[idx] = true
+				grp.freeInodes--
+				return uint32(g*fs.opts.InodesPerGroup + idx), nil
+			}
+		}
+	}
+	return 0, ErrNoInodes
+}
+
+func (fs *FS) freeInode(inum uint32) {
+	g := fs.groupOfInum(inum)
+	idx := int(inum) % fs.opts.InodesPerGroup
+	grp := fs.groups[g]
+	if grp.inodeInUse[idx] {
+		grp.inodeInUse[idx] = false
+		grp.freeInodes++
+	}
+}
+
+// allocBlock allocates one data block, preferring the given group and
+// first-fit from the group's allocation rotor (which keeps sequentially
+// written files contiguous). It honours the FFS free-space reserve.
+func (fs *FS) allocBlock(preferredGroup int) (int64, error) {
+	reserve := int(float64(fs.totalDataBlocks()) * fs.opts.MinFreeFraction)
+	if fs.totalFreeBlocks() <= reserve {
+		return 0, ErrNoSpace
+	}
+	for probe := 0; probe < fs.ngroups; probe++ {
+		g := (preferredGroup + probe) % fs.ngroups
+		grp := fs.groups[g]
+		if grp.freeBlocks == 0 {
+			continue
+		}
+		n := len(grp.bitmap)
+		for i := 0; i < n; i++ {
+			idx := (grp.lastAlloc + i) % n
+			if !grp.bitmap[idx] {
+				grp.bitmap[idx] = true
+				grp.freeBlocks--
+				grp.bitmapDirty = true
+				grp.lastAlloc = idx + 1
+				return fs.dataBlockAddr(g, idx), nil
+			}
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// freeBlock releases the data block at the FS-block address.
+func (fs *FS) freeBlock(addr int64) error {
+	g := int((addr - 1) / int64(fs.opts.GroupBlocks))
+	idx := int(addr - fs.groupBase(g) - fs.dataStart)
+	if g < 0 || g >= fs.ngroups || idx < 0 || idx >= len(fs.groups[g].bitmap) {
+		return fmt.Errorf("%w: free of block %d (group %d idx %d)", ErrCorrupt, addr, g, idx)
+	}
+	grp := fs.groups[g]
+	if !grp.bitmap[idx] {
+		return fmt.Errorf("%w: double free of block %d", ErrCorrupt, addr)
+	}
+	grp.bitmap[idx] = false
+	grp.freeBlocks++
+	grp.bitmapDirty = true
+	return nil
+}
+
+// maxFileBlocks is the largest file block index, matching the classic
+// 10 direct + single + double indirect limit for this block size.
+func (fs *FS) maxFileBlocks() int64 {
+	p := int64(fs.ptrsPerBlk)
+	return int64(layout.NumDirect) + p + p*p
+}

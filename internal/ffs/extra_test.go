@@ -1,0 +1,244 @@
+package ffs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+func TestWriteFileOverwrite(t *testing.T) {
+	fs := newTestFS(t, 4096)
+	if err := fs.WriteFile("/o", bytes.Repeat([]byte("one"), 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/o", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/o")
+	if err != nil || string(got) != "two" {
+		t.Fatalf("%q, %v", got, err)
+	}
+	mustFsck(t, fs)
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	fs := newTestFS(t, 4096)
+	if err := fs.WriteFile("/src", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/dst", []byte("victim")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/dst")
+	if err != nil || string(got) != "keep" {
+		t.Fatalf("%q, %v", got, err)
+	}
+	if _, err := fs.Stat("/src"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("src still present: %v", err)
+	}
+	mustFsck(t, fs)
+}
+
+func TestRenameSameName(t *testing.T) {
+	fs := newTestFS(t, 2048)
+	if err := fs.WriteFile("/same", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/same", "/same"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("/same"); string(got) != "x" {
+		t.Fatal("self-rename corrupted the file")
+	}
+}
+
+func TestRenameOverDirectoryRejected(t *testing.T) {
+	fs := newTestFS(t, 2048)
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/f", "/d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("rename over dir: %v", err)
+	}
+}
+
+func TestRemoveHardLinkKeepsInode(t *testing.T) {
+	fs := newTestFS(t, 2048)
+	if err := fs.WriteFile("/a", []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/b")
+	if err != nil || string(got) != "shared" {
+		t.Fatalf("%q, %v", got, err)
+	}
+	info, _ := fs.Stat("/b")
+	if info.Nlink != 1 {
+		t.Fatalf("nlink = %d", info.Nlink)
+	}
+	mustFsck(t, fs)
+}
+
+func TestFsckDetectsBitmapCorruption(t *testing.T) {
+	fs := newTestFS(t, 4096)
+	if err := fs.WriteFile("/f", make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip an allocation bit behind the file system's back.
+	g := fs.groups[0]
+	var victim int
+	for i, used := range g.bitmap {
+		if used {
+			victim = i
+			break
+		}
+	}
+	g.bitmap[victim] = false
+	g.freeBlocks++
+	g.bitmapDirty = true
+	rep, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) == 0 {
+		t.Fatal("fsck missed a bitmap inconsistency")
+	}
+}
+
+func TestFsckDetectsDanglingDirEntry(t *testing.T) {
+	fs := newTestFS(t, 4096)
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("/f")
+	// Remove the inode behind the directory's back.
+	delete(fs.inodes, info.Inum)
+	rep, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if len(p) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fsck missed a dangling directory entry")
+	}
+}
+
+func TestOutOfInodes(t *testing.T) {
+	d := disk.MustNew(disk.DefaultGeometry(8192))
+	fs, err := Format(d, Options{GroupBlocks: 256, InodesPerGroup: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 500; i++ {
+		if lastErr = fs.Create(fmt.Sprintf("/f%03d", i)); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrNoInodes) {
+		t.Fatalf("err = %v, want ErrNoInodes", lastErr)
+	}
+	if err := fs.Remove("/f000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/reuse"); err != nil {
+		t.Fatalf("create after free: %v", err)
+	}
+}
+
+func TestMinFreeReserve(t *testing.T) {
+	// FFS keeps 10% of the data blocks free (Section 3.4 of the LFS
+	// paper notes the same space/performance trade).
+	fs := newTestFS(t, 2048)
+	var err error
+	for i := 0; i < 2000; i++ {
+		if err = fs.WriteFile(fmt.Sprintf("/f%04d", i), make([]byte, 8192)); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+	free := fs.totalFreeBlocks()
+	total := fs.totalDataBlocks()
+	if float64(free) < 0.08*float64(total) {
+		t.Fatalf("reserve violated: %d of %d blocks free", free, total)
+	}
+}
+
+func TestFormatRejectsBadGeometry(t *testing.T) {
+	d := disk.MustNew(disk.DefaultGeometry(2048))
+	if _, err := Format(d, Options{BlockSize: 5000}); err == nil {
+		t.Fatal("odd block size accepted")
+	}
+	if _, err := Format(d, Options{GroupBlocks: 4, InodesPerGroup: 4096}); err == nil {
+		t.Fatal("metadata-only group accepted")
+	}
+	tiny := disk.MustNew(disk.DefaultGeometry(16))
+	if _, err := Format(tiny, Options{}); err == nil {
+		t.Fatal("tiny device accepted")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	fs := newTestFS(t, 4096)
+	if err := fs.WriteFile("/s", make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.FilesCreated != 1 || st.SyncWrites == 0 || st.DataWrites == 0 || st.NewDataBytes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := fs.Remove("/s"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stats().FilesDeleted != 1 {
+		t.Fatalf("deletes not counted: %+v", fs.Stats())
+	}
+}
+
+func TestDeepTreeAndManyFiles(t *testing.T) {
+	fs := newTestFS(t, 16384)
+	path := ""
+	for i := 0; i < 8; i++ {
+		path = fmt.Sprintf("%s/d%d", path, i)
+		if err := fs.Mkdir(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("%s/f%03d", path, i), []byte("leaf")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := fs.ReadDir(path)
+	if err != nil || len(entries) != 100 {
+		t.Fatalf("%d entries, %v", len(entries), err)
+	}
+	mustFsck(t, fs)
+}

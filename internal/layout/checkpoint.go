@@ -1,0 +1,120 @@
+package layout
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Checkpoint is the checkpoint region (Section 4.1). Two copies live at
+// fixed disk addresses and checkpoint operations alternate between them;
+// mount uses the one with the highest valid sequence number. The region
+// records the addresses of all inode-map and segment-usage-table blocks,
+// the position of the log head, and enough counters to resume logging.
+//
+// The trailer of the last block holds the sequence number and a CRC over
+// the whole region, which is the paper's "time in the last block" torn-
+// checkpoint defence made explicit.
+type Checkpoint struct {
+	Seq        uint64 // checkpoint sequence number (monotone)
+	Timestamp  uint64 // logical time of the checkpoint
+	NextInum   uint32 // next inum to allocate
+	HeadSeg    int64  // segment that is the current log head
+	HeadOffset uint32 // blocks already used in the head segment
+	NextSeg    int64  // pre-selected segment the log moves to next
+	WriteSeq   uint64 // next partial-write sequence number
+	DirLogSeq  uint64 // next directory-operation-log sequence number
+	ImapAddrs  []int64
+	UsageAddrs []int64
+}
+
+const cpHeader = 64
+const cpTrailer = 16
+
+// CheckpointBlocksNeeded returns how many blocks a checkpoint region with
+// the given numbers of map addresses requires.
+func CheckpointBlocksNeeded(nImap, nUsage int) int {
+	payload := cpHeader + 8*(nImap+nUsage) + cpTrailer
+	return (payload + BlockSize - 1) / BlockSize
+}
+
+// Encode serializes the checkpoint into exactly nblocks blocks.
+func (cp *Checkpoint) Encode(nblocks int) ([]byte, error) {
+	need := CheckpointBlocksNeeded(len(cp.ImapAddrs), len(cp.UsageAddrs))
+	if need > nblocks {
+		return nil, fmt.Errorf("%w: checkpoint needs %d blocks, region has %d", ErrTooLarge, need, nblocks)
+	}
+	buf := make([]byte, nblocks*BlockSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], MagicCheckpoint)
+	le.PutUint64(buf[4:], cp.Seq)
+	le.PutUint64(buf[12:], cp.Timestamp)
+	le.PutUint32(buf[20:], cp.NextInum)
+	le.PutUint64(buf[24:], uint64(cp.HeadSeg))
+	le.PutUint32(buf[32:], cp.HeadOffset)
+	le.PutUint64(buf[36:], uint64(cp.NextSeg))
+	le.PutUint64(buf[44:], cp.WriteSeq)
+	le.PutUint64(buf[52:], cp.DirLogSeq)
+	le.PutUint16(buf[60:], uint16(len(cp.ImapAddrs)))
+	le.PutUint16(buf[62:], uint16(len(cp.UsageAddrs)))
+	off := cpHeader
+	for _, a := range cp.ImapAddrs {
+		le.PutUint64(buf[off:], uint64(a))
+		off += 8
+	}
+	for _, a := range cp.UsageAddrs {
+		le.PutUint64(buf[off:], uint64(a))
+		off += 8
+	}
+	// Trailer: sequence echo + CRC in the final 16 bytes of the region.
+	t := len(buf) - cpTrailer
+	le.PutUint64(buf[t:], cp.Seq)
+	le.PutUint32(buf[t+8:], Checksum(buf[:t]))
+	return buf, nil
+}
+
+// DecodeCheckpoint parses and validates a checkpoint region read from disk.
+// It returns an error for regions that are unwritten, torn, or whose
+// trailer sequence does not match the header (an interrupted checkpoint).
+func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
+	if len(buf) < cpHeader+cpTrailer || len(buf)%BlockSize != 0 {
+		return nil, fmt.Errorf("layout: checkpoint buffer size %d", len(buf))
+	}
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != MagicCheckpoint {
+		return nil, fmt.Errorf("%w: checkpoint", ErrBadMagic)
+	}
+	t := len(buf) - cpTrailer
+	if le.Uint32(buf[t+8:]) != Checksum(buf[:t]) {
+		return nil, fmt.Errorf("%w: checkpoint", ErrBadChecksum)
+	}
+	cp := &Checkpoint{
+		Seq:        le.Uint64(buf[4:]),
+		Timestamp:  le.Uint64(buf[12:]),
+		NextInum:   le.Uint32(buf[20:]),
+		HeadSeg:    int64(le.Uint64(buf[24:])),
+		HeadOffset: le.Uint32(buf[32:]),
+		NextSeg:    int64(le.Uint64(buf[36:])),
+		WriteSeq:   le.Uint64(buf[44:]),
+		DirLogSeq:  le.Uint64(buf[52:]),
+	}
+	if le.Uint64(buf[t:]) != cp.Seq {
+		return nil, fmt.Errorf("layout: checkpoint trailer seq %d != header seq %d (torn checkpoint)", le.Uint64(buf[t:]), cp.Seq)
+	}
+	nImap := int(le.Uint16(buf[60:]))
+	nUsage := int(le.Uint16(buf[62:]))
+	if cpHeader+8*(nImap+nUsage) > t {
+		return nil, fmt.Errorf("layout: checkpoint claims %d+%d addresses", nImap, nUsage)
+	}
+	off := cpHeader
+	cp.ImapAddrs = make([]int64, nImap)
+	for i := range cp.ImapAddrs {
+		cp.ImapAddrs[i] = int64(le.Uint64(buf[off:]))
+		off += 8
+	}
+	cp.UsageAddrs = make([]int64, nUsage)
+	for i := range cp.UsageAddrs {
+		cp.UsageAddrs[i] = int64(le.Uint64(buf[off:]))
+		off += 8
+	}
+	return cp, nil
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Profile is a synthetic equivalent of one of the five production file
+// systems measured in Section 5.2 (Table 2). The paper attributes the
+// production systems' low cleaning costs to two properties the simulator
+// lacked: files are written and deleted as a whole (so deleting a large
+// file yields whole empty segments), and large numbers of files are
+// almost never written (far colder than the hot-and-cold model). The
+// profiles encode exactly those properties.
+type Profile struct {
+	// Name matches the paper's file system name.
+	Name string
+	// DiskMB is the paper's disk size; the harness scales it down.
+	DiskMB int
+	// AvgFileKB is the paper's mean file size.
+	AvgFileKB float64
+	// Utilization is the paper's average disk capacity in use.
+	Utilization float64
+	// TrafficMBPerHour is the paper's average write traffic (reported
+	// for reference; the harness chooses total traffic volume).
+	TrafficMBPerHour float64
+	// ColdFraction of the files are never written after creation
+	// ("cold segments in reality are much colder than in the
+	// simulations").
+	ColdFraction float64
+	// WholeFileWrites rewrites and deletes files in their entirety; when
+	// false the traffic is random block-sized overwrites within existing
+	// files (the /swap2 behaviour: "large, sparse, accessed
+	// nonsequentially").
+	WholeFileWrites bool
+	// WholeFileFraction mixes occasional whole-file delete/recreate into
+	// block-write traffic (only meaningful when WholeFileWrites is
+	// false). /swap2 uses it to model workstation reboots freeing whole
+	// swap files, the source of the paper's many empty cleaned segments.
+	WholeFileFraction float64
+	// PaperEmptyPct, PaperAvgU and PaperWriteCost record Table 2's
+	// measured values for comparison in reports.
+	PaperEmptyPct  float64
+	PaperAvgU      float64
+	PaperWriteCost float64
+}
+
+// Profiles returns the five production file systems of Table 2.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "/user6", DiskMB: 1280, AvgFileKB: 23.5, Utilization: 0.75, TrafficMBPerHour: 3.2,
+			ColdFraction: 0.93, WholeFileWrites: true, PaperEmptyPct: 69, PaperAvgU: 0.133, PaperWriteCost: 1.4},
+		{Name: "/pcs", DiskMB: 990, AvgFileKB: 10.5, Utilization: 0.63, TrafficMBPerHour: 2.1,
+			ColdFraction: 0.88, WholeFileWrites: true, PaperEmptyPct: 52, PaperAvgU: 0.137, PaperWriteCost: 1.6},
+		{Name: "/src/kernel", DiskMB: 1280, AvgFileKB: 37.5, Utilization: 0.72, TrafficMBPerHour: 4.2,
+			ColdFraction: 0.95, WholeFileWrites: true, PaperEmptyPct: 83, PaperAvgU: 0.122, PaperWriteCost: 1.2},
+		{Name: "/tmp", DiskMB: 264, AvgFileKB: 28.9, Utilization: 0.11, TrafficMBPerHour: 1.7,
+			ColdFraction: 0.1, WholeFileWrites: true, PaperEmptyPct: 78, PaperAvgU: 0.130, PaperWriteCost: 1.3},
+		{Name: "/swap2", DiskMB: 309, AvgFileKB: 68.1, Utilization: 0.65, TrafficMBPerHour: 13.3,
+			ColdFraction: 0.0, WholeFileWrites: false, WholeFileFraction: 0.3,
+			PaperEmptyPct: 66, PaperAvgU: 0.535, PaperWriteCost: 1.6},
+	}
+}
+
+// ProfileRun is the mutable state of a populated profile.
+type ProfileRun struct {
+	Profile Profile
+	fs      FileSystem
+	rng     *rand.Rand
+	files   []profFile
+	nextID  int
+}
+
+type profFile struct {
+	path string
+	size int64
+	cold bool
+}
+
+// fileSize draws a file size from an exponential distribution with the
+// profile's mean, in whole bytes, at least one byte.
+func (p Profile) fileSize(rng *rand.Rand) int64 {
+	mean := p.AvgFileKB * 1024
+	s := int64(rng.ExpFloat64() * mean)
+	if s < 1 {
+		s = 1
+	}
+	if max := int64(20 * mean); s > max {
+		s = max
+	}
+	return s
+}
+
+// Populate creates files until the target utilization of capacityBytes is
+// reached, marking the configured fraction cold, and returns the run
+// state for traffic application.
+func (p Profile) Populate(fs FileSystem, capacityBytes int64, seed int64) (*ProfileRun, error) {
+	r := &ProfileRun{Profile: p, fs: fs, rng: rand.New(rand.NewSource(seed + 17))}
+	if err := fs.Mkdir("/data"); err != nil {
+		return nil, err
+	}
+	// Spread files over subdirectories of ~200 entries, as real home
+	// directories do.
+	madeDirs := map[int]bool{}
+	target := int64(float64(capacityBytes) * p.Utilization)
+	var used int64
+	for used < target {
+		size := p.fileSize(r.rng)
+		if used+size > target {
+			size = target - used
+			if size < 1 {
+				break
+			}
+		}
+		dir := r.nextID / 200
+		if !madeDirs[dir] {
+			if err := fs.Mkdir(fmt.Sprintf("/data/d%04d", dir)); err != nil {
+				return nil, err
+			}
+			madeDirs[dir] = true
+		}
+		f := profFile{
+			path: fmt.Sprintf("/data/d%04d/f%06d", dir, r.nextID),
+			size: size,
+			cold: r.rng.Float64() < p.ColdFraction,
+		}
+		r.nextID++
+		if err := fs.WriteFile(f.path, deterministicBytes(int(size), int64(r.nextID))); err != nil {
+			return nil, fmt.Errorf("populate %s: %w", f.path, err)
+		}
+		r.files = append(r.files, f)
+		used += size
+	}
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ErrNoWarmFiles reports a profile whose population is entirely cold.
+var ErrNoWarmFiles = errors.New("workload: no warm files to write")
+
+// ApplyTraffic writes approximately bytes of new data following the
+// profile's behaviour: whole-file deletes and recreations among the warm
+// files, or random in-place block writes for the swap-like profile.
+func (r *ProfileRun) ApplyTraffic(bytes int64) error {
+	var warm []int
+	for i, f := range r.files {
+		if !f.cold {
+			warm = append(warm, i)
+		}
+	}
+	if len(warm) == 0 {
+		return ErrNoWarmFiles
+	}
+	var written int64
+	const blockSize = 4096
+	blockBuf := deterministicBytes(blockSize, 99)
+	for written < bytes {
+		idx := warm[r.rng.Intn(len(warm))]
+		f := &r.files[idx]
+		if r.Profile.WholeFileWrites || r.rng.Float64() < r.Profile.WholeFileFraction {
+			// Delete the file and recreate it whole, with a freshly
+			// drawn size (the paper: "they tend to be written and
+			// deleted as a whole").
+			if err := r.fs.Remove(f.path); err != nil {
+				return err
+			}
+			f.size = r.Profile.fileSize(r.rng)
+			if err := r.fs.WriteFile(f.path, deterministicBytes(int(f.size), int64(idx))); err != nil {
+				return err
+			}
+			written += f.size
+		} else {
+			// Random single-block write within the file.
+			maxOff := f.size - blockSize
+			if maxOff < 0 {
+				maxOff = 0
+			}
+			off := (r.rng.Int63n(maxOff+1) / blockSize) * blockSize
+			if _, err := r.fs.WriteAt(f.path, off, blockBuf); err != nil {
+				return err
+			}
+			written += blockSize
+		}
+	}
+	return r.fs.Sync()
+}
+
+// LiveBytes returns the profile's current live data volume.
+func (r *ProfileRun) LiveBytes() int64 {
+	var total int64
+	for _, f := range r.files {
+		total += f.size
+	}
+	return total
+}
+
+// NumFiles returns the population size.
+func (r *ProfileRun) NumFiles() int { return len(r.files) }

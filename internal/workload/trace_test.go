@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() Trace {
+	return Trace{
+		{Kind: OpMkdir, Path: "/d"},
+		{Kind: OpWriteAll, Path: "/d/a", Size: 5000, Seed: 7},
+		{Kind: OpWrite, Path: "/d/a", Offset: 100, Size: 50, Seed: 9},
+		{Kind: OpRead, Path: "/d/a", Offset: 0, Size: 200},
+		{Kind: OpReadAll, Path: "/d/a"},
+		{Kind: OpRename, Path: "/d/a", Path2: "/d/b"},
+		{Kind: OpCreate, Path: "/d/c"},
+		{Kind: OpRemove, Path: "/d/c"},
+		{Kind: OpSync},
+	}
+}
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestTraceLoadIgnoresComments(t *testing.T) {
+	in := "# a comment\n\nmkdir /x\n  \nsync\n"
+	tr, err := LoadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 || tr[0].Kind != OpMkdir || tr[1].Kind != OpSync {
+		t.Fatalf("parsed %+v", tr)
+	}
+}
+
+func TestTraceLoadRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"explode /x",
+		"write /x 1 2",
+		"rename /only-one",
+		"write /x a b c",
+		"mkdir",
+	} {
+		if _, err := LoadTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestTraceReplayOnBothSystems(t *testing.T) {
+	tr := sampleTrace()
+	lfs := newLFS(t, 4096)
+	if err := tr.Replay(lfs); err != nil {
+		t.Fatalf("lfs replay: %v", err)
+	}
+	ffs := newFFS(t, 4096)
+	if err := tr.Replay(ffs); err != nil {
+		t.Fatalf("ffs replay: %v", err)
+	}
+	// Both systems end in the same observable state.
+	a, err := lfs.ReadFile("/d/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ffs.ReadFile("/d/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("replayed states diverge between LFS and FFS")
+	}
+}
+
+func TestTraceReplayStopsAtError(t *testing.T) {
+	tr := Trace{{Kind: OpReadAll, Path: "/missing"}}
+	if err := tr.Replay(newLFS(t, 2048)); err == nil {
+		t.Fatal("replay of bad trace succeeded")
+	}
+	tr = Trace{{Kind: OpKind("bogus"), Path: "/x"}}
+	if err := tr.Replay(newLFS(t, 2048)); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestGenerateOfficeTrace(t *testing.T) {
+	tr := GenerateOfficeTrace(400, 3)
+	if len(tr) < 400 {
+		t.Fatalf("generated %d ops, want >= 400", len(tr))
+	}
+	// Deterministic for a fixed seed.
+	tr2 := GenerateOfficeTrace(400, 3)
+	if !reflect.DeepEqual(tr, tr2) {
+		t.Fatal("generator is not deterministic")
+	}
+	// And replayable end to end on both systems.
+	if err := tr.Replay(newLFS(t, 8192)); err != nil {
+		t.Fatalf("lfs replay: %v", err)
+	}
+	if err := tr.Replay(newFFS(t, 8192)); err != nil {
+		t.Fatalf("ffs replay: %v", err)
+	}
+	// A save/load round trip replays identically.
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Replay(newLFS(t, 8192)); err != nil {
+		t.Fatalf("loaded replay: %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package workload generates the file system workloads used by the
+// paper's evaluation: the small-file and large-file micro-benchmarks of
+// Section 5.1 and synthetic equivalents of the production file systems
+// measured over four months in Section 5.2 (Table 2).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FileSystem is the interface the workloads drive. Both the
+// log-structured file system (internal/core) and the FFS baseline
+// (internal/ffs) satisfy it.
+type FileSystem interface {
+	Create(path string) error
+	Mkdir(path string) error
+	WriteAt(path string, off int64, data []byte) (int, error)
+	WriteFile(path string, data []byte) error
+	ReadAt(path string, off int64, buf []byte) (int, error)
+	ReadFile(path string) ([]byte, error)
+	Remove(path string) error
+	Rename(oldPath, newPath string) error
+	Sync() error
+}
+
+// SmallFiles is the Figure 8 micro-benchmark: create NumFiles files of
+// FileSize bytes, read them back in creation order, then delete them.
+type SmallFiles struct {
+	NumFiles int
+	FileSize int
+	// DirFanout spreads the files over subdirectories (0 = all in one
+	// directory, which is the paper's configuration).
+	DirFanout int
+}
+
+func (w SmallFiles) path(i int) string {
+	if w.DirFanout > 0 {
+		return fmt.Sprintf("/d%02d/f%06d", i%w.DirFanout, i)
+	}
+	return fmt.Sprintf("/f%06d", i)
+}
+
+// Prepare creates the fanout directories.
+func (w SmallFiles) Prepare(fs FileSystem) error {
+	for d := 0; d < w.DirFanout; d++ {
+		if err := fs.Mkdir(fmt.Sprintf("/d%02d", d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreatePhase writes every file, then syncs.
+func (w SmallFiles) CreatePhase(fs FileSystem) error {
+	payload := deterministicBytes(w.FileSize, 1)
+	for i := 0; i < w.NumFiles; i++ {
+		if err := fs.WriteFile(w.path(i), payload); err != nil {
+			return fmt.Errorf("create %d: %w", i, err)
+		}
+	}
+	return fs.Sync()
+}
+
+// ReadPhase reads every file back in the same order as created.
+func (w SmallFiles) ReadPhase(fs FileSystem) error {
+	for i := 0; i < w.NumFiles; i++ {
+		got, err := fs.ReadFile(w.path(i))
+		if err != nil {
+			return fmt.Errorf("read %d: %w", i, err)
+		}
+		if len(got) != w.FileSize {
+			return fmt.Errorf("read %d: %d bytes, want %d", i, len(got), w.FileSize)
+		}
+	}
+	return nil
+}
+
+// DeletePhase removes every file, then syncs.
+func (w SmallFiles) DeletePhase(fs FileSystem) error {
+	for i := 0; i < w.NumFiles; i++ {
+		if err := fs.Remove(w.path(i)); err != nil {
+			return fmt.Errorf("delete %d: %w", i, err)
+		}
+	}
+	return fs.Sync()
+}
+
+// LargeFile is the Figure 9 micro-benchmark: create a FileSize-byte file
+// with sequential writes, read it sequentially, write FileSize bytes
+// randomly, read FileSize bytes randomly, and finally read the file
+// sequentially again. I/O is issued in ChunkSize units.
+type LargeFile struct {
+	Path      string
+	FileSize  int64
+	ChunkSize int
+	// RandomChunkSize is the I/O unit of the random phases (defaults to
+	// ChunkSize). The paper's random phases touch the file in small
+	// pieces, which is what scatters the blocks in the log.
+	RandomChunkSize int
+	Seed            int64
+}
+
+func (w LargeFile) chunks() int64 { return w.FileSize / int64(w.ChunkSize) }
+
+func (w LargeFile) randChunk() int {
+	if w.RandomChunkSize > 0 {
+		return w.RandomChunkSize
+	}
+	return w.ChunkSize
+}
+
+func (w LargeFile) randChunks() int64 { return w.FileSize / int64(w.randChunk()) }
+
+// SequentialWrite creates the file with sequential writes.
+func (w LargeFile) SequentialWrite(fs FileSystem) error {
+	if err := fs.Create(w.Path); err != nil {
+		return err
+	}
+	buf := deterministicBytes(w.ChunkSize, 2)
+	for off := int64(0); off < w.FileSize; off += int64(w.ChunkSize) {
+		if _, err := fs.WriteAt(w.Path, off, buf); err != nil {
+			return err
+		}
+	}
+	return fs.Sync()
+}
+
+// SequentialRead reads the whole file in order.
+func (w LargeFile) SequentialRead(fs FileSystem) error {
+	buf := make([]byte, w.ChunkSize)
+	for off := int64(0); off < w.FileSize; off += int64(w.ChunkSize) {
+		if n, err := fs.ReadAt(w.Path, off, buf); err != nil || n != w.ChunkSize {
+			return fmt.Errorf("sequential read at %d: n=%d err=%w", off, n, err)
+		}
+	}
+	return nil
+}
+
+// RandomWrite overwrites the file's chunks in a random order (every chunk
+// exactly once, so the total traffic equals the file size).
+func (w LargeFile) RandomWrite(fs FileSystem) error {
+	order := rand.New(rand.NewSource(w.Seed + 3)).Perm(int(w.randChunks()))
+	buf := deterministicBytes(w.randChunk(), 3)
+	for _, c := range order {
+		if _, err := fs.WriteAt(w.Path, int64(c)*int64(w.randChunk()), buf); err != nil {
+			return err
+		}
+	}
+	return fs.Sync()
+}
+
+// RandomRead reads the file's chunks in a (different) random order.
+func (w LargeFile) RandomRead(fs FileSystem) error {
+	order := rand.New(rand.NewSource(w.Seed + 4)).Perm(int(w.randChunks()))
+	buf := make([]byte, w.randChunk())
+	for _, c := range order {
+		if n, err := fs.ReadAt(w.Path, int64(c)*int64(w.randChunk()), buf); err != nil || n != w.randChunk() {
+			return fmt.Errorf("random read chunk %d: n=%d err=%w", c, n, err)
+		}
+	}
+	return nil
+}
+
+func deterministicBytes(n int, seed int64) []byte {
+	out := make([]byte, n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(out)
+	return out
+}

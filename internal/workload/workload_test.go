@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/ffs"
+)
+
+func newLFS(t *testing.T, nblocks int64) *core.FS {
+	t.Helper()
+	d := disk.MustNew(disk.DefaultGeometry(nblocks))
+	fs, err := core.Format(d, core.Options{SegmentBlocks: 64, MaxInodes: 8192,
+		CleanLowWater: 4, CleanHighWater: 8, CleanBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func newFFS(t *testing.T, nblocks int64) *ffs.FS {
+	t.Helper()
+	d := disk.MustNew(disk.DefaultGeometry(nblocks))
+	fs, err := ffs.Format(d, ffs.Options{GroupBlocks: 512, InodesPerGroup: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// Both file systems must satisfy the workload interface.
+var (
+	_ FileSystem = (*core.FS)(nil)
+	_ FileSystem = (*ffs.FS)(nil)
+)
+
+func TestSmallFilesOnBothSystems(t *testing.T) {
+	w := SmallFiles{NumFiles: 120, FileSize: 1024, DirFanout: 4}
+	for _, tc := range []struct {
+		name string
+		fs   FileSystem
+	}{
+		{"lfs", newLFS(t, 8192)},
+		{"ffs", newFFS(t, 8192)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := w.Prepare(tc.fs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.CreatePhase(tc.fs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.ReadPhase(tc.fs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.DeletePhase(tc.fs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLargeFileOnBothSystems(t *testing.T) {
+	w := LargeFile{Path: "/big", FileSize: 4 << 20, ChunkSize: 56 * 1024, Seed: 1}
+	for _, tc := range []struct {
+		name string
+		fs   FileSystem
+	}{
+		{"lfs", newLFS(t, 8192)},
+		{"ffs", newFFS(t, 8192)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := w.SequentialWrite(tc.fs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.SequentialRead(tc.fs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.RandomWrite(tc.fs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.RandomRead(tc.fs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.SequentialRead(tc.fs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestProfilesMatchPaperTable(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 5 {
+		t.Fatalf("%d profiles, want 5", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		if p.Utilization <= 0 || p.Utilization > 1 {
+			t.Errorf("%s: utilization %v", p.Name, p.Utilization)
+		}
+		if p.AvgFileKB <= 0 || p.DiskMB <= 0 {
+			t.Errorf("%s: bad size fields", p.Name)
+		}
+	}
+	for _, want := range []string{"/user6", "/pcs", "/src/kernel", "/tmp", "/swap2"} {
+		if !names[want] {
+			t.Errorf("missing profile %s", want)
+		}
+	}
+}
+
+func TestProfilePopulateAndTraffic(t *testing.T) {
+	fs := newLFS(t, 16384) // 64 MB
+	p := Profile{Name: "test", AvgFileKB: 8, Utilization: 0.4, ColdFraction: 0.5, WholeFileWrites: true}
+	capacity := int64(16384) * 4096
+	run, err := p.Populate(fs, capacity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := float64(run.LiveBytes()) / float64(capacity)
+	if util < 0.35 || util > 0.45 {
+		t.Fatalf("populated utilization %.2f, want ~0.4", util)
+	}
+	if run.NumFiles() == 0 {
+		t.Fatal("no files created")
+	}
+	if err := run.ApplyTraffic(8 << 20); err != nil {
+		t.Fatal(err)
+	}
+	// Cold files never change: still readable with original sizes.
+	cold := 0
+	for _, f := range run.files {
+		if f.cold {
+			cold++
+			got, err := fs.ReadFile(f.path)
+			if err != nil {
+				t.Fatalf("cold file %s: %v", f.path, err)
+			}
+			if int64(len(got)) != f.size {
+				t.Fatalf("cold file %s resized", f.path)
+			}
+		}
+	}
+	if cold == 0 {
+		t.Fatal("no cold files with ColdFraction 0.5")
+	}
+}
+
+func TestProfileRandomBlockTraffic(t *testing.T) {
+	fs := newLFS(t, 16384)
+	p := Profile{Name: "swapish", AvgFileKB: 64, Utilization: 0.3, WholeFileWrites: false}
+	run, err := p.Populate(fs, int64(16384)*4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizesBefore := map[string]int64{}
+	for _, f := range run.files {
+		sizesBefore[f.path] = f.size
+	}
+	if err := run.ApplyTraffic(4 << 20); err != nil {
+		t.Fatal(err)
+	}
+	// In-place traffic never grows or shrinks files.
+	for _, f := range run.files {
+		if sizesBefore[f.path] != f.size {
+			t.Fatalf("file %s resized by in-place traffic", f.path)
+		}
+	}
+}
+
+func TestProfileAllColdRejected(t *testing.T) {
+	fs := newLFS(t, 4096)
+	p := Profile{Name: "frozen", AvgFileKB: 4, Utilization: 0.2, ColdFraction: 1.0, WholeFileWrites: true}
+	run, err := p.Populate(fs, int64(4096)*4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.ApplyTraffic(1 << 20); err != ErrNoWarmFiles {
+		t.Fatalf("err = %v, want ErrNoWarmFiles", err)
+	}
+}

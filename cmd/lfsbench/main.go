@@ -7,23 +7,28 @@
 //	lfsbench -list
 //	lfsbench -exp fig8
 //	lfsbench -exp all -quick
+//	lfsbench -exp table2 -trace run.jsonl -metrics
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (see -list), or \"all\"")
-		quick = flag.Bool("quick", false, "use scaled-down disks and workloads")
-		seed  = flag.Int64("seed", 42, "random seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment to run (see -list), or \"all\"")
+		quick   = flag.Bool("quick", false, "use scaled-down disks and workloads")
+		seed    = flag.Int64("seed", 42, "random seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		trace   = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics = flag.Bool("metrics", false, "print the obs metrics snapshot after the run")
 	)
 	flag.Parse()
 
@@ -35,6 +40,42 @@ func main() {
 	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	var jsink *obs.JSONLSink
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *trace != "" || *metrics {
+		var sink obs.Sink
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lfsbench:", err)
+				os.Exit(1)
+			}
+			traceFile = f
+			traceBuf = bufio.NewWriter(f)
+			jsink = obs.NewJSONLSink(traceBuf)
+			sink = jsink
+		}
+		cfg.Tracer = obs.New(sink)
+	}
+	closeTrace := func() {
+		if traceFile == nil {
+			return
+		}
+		if err := traceBuf.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "lfsbench: flush trace:", err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lfsbench: close trace:", err)
+			os.Exit(1)
+		}
+		if err := jsink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "lfsbench: write trace:", err)
+			os.Exit(1)
+		}
+	}
+
 	run := func(e bench.Experiment) error {
 		start := time.Now()
 		tbl, err := e.Run(cfg)
@@ -46,22 +87,31 @@ func main() {
 		return nil
 	}
 
+	fail := func(err error) {
+		closeTrace()
+		fmt.Fprintln(os.Stderr, "lfsbench:", err)
+		os.Exit(1)
+	}
+
 	if *exp == "all" {
 		for _, e := range bench.Experiments() {
 			if err := run(e); err != nil {
-				fmt.Fprintln(os.Stderr, "lfsbench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 		}
-		return
+	} else {
+		e, err := bench.Lookup(*exp)
+		if err != nil {
+			fail(err)
+		}
+		if err := run(e); err != nil {
+			fail(err)
+		}
 	}
-	e, err := bench.Lookup(*exp)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lfsbench:", err)
-		os.Exit(1)
+
+	if *metrics {
+		fmt.Println("obs metrics:")
+		fmt.Println(cfg.Tracer.Metrics().String())
 	}
-	if err := run(e); err != nil {
-		fmt.Fprintln(os.Stderr, "lfsbench:", err)
-		os.Exit(1)
-	}
+	closeTrace()
 }

@@ -7,8 +7,8 @@
 //
 // Commands: ls [path], cat <path>, put <path> <text>, gen <path> <KB>,
 // rm <path>, mkdir <path>, mv <old> <new>, ln <old> <new>, stat <path>,
-// df, segs, sync, checkpoint, clean, idle <n>, crash, fsck, save, help,
-// quit.
+// df, segs, sync, checkpoint, clean, idle <n>, crash, fsck, stats,
+// trace <file>|off, save, help, quit.
 package main
 
 import (
@@ -36,16 +36,18 @@ func main() {
 	}
 	img := flag.Arg(0)
 
+	// Metrics are always on; `trace <file>` attaches a JSONL sink live.
+	opts := lfs.Options{Tracer: lfs.NewTracer(nil)}
 	var d *lfs.Disk
 	var fs *lfs.FS
 	var err error
 	if *newFS {
 		d = lfs.NewDisk(int64(*sizeMB) << 20 / 4096)
-		fs, err = lfs.Format(d, lfs.Options{})
+		fs, err = lfs.Format(d, opts)
 	} else {
 		d, err = lfs.LoadDisk(img)
 		if err == nil {
-			fs, err = lfs.Mount(d, lfs.Options{})
+			fs, err = lfs.Mount(d, opts)
 		}
 	}
 	if err != nil {
@@ -72,6 +74,28 @@ func main() {
 	}
 }
 
+// traceOut is the JSONL trace file the `trace` command writes to, if any.
+var traceOut struct {
+	f   *os.File
+	buf *bufio.Writer
+}
+
+// closeTrace flushes and closes the current trace file, if one is open.
+func closeTrace(fs *lfs.FS) error {
+	if traceOut.f == nil {
+		return nil
+	}
+	if tr := fs.Tracer(); tr != nil {
+		tr.SetSink(nil)
+	}
+	err := traceOut.buf.Flush()
+	if cerr := traceOut.f.Close(); err == nil {
+		err = cerr
+	}
+	traceOut.f, traceOut.buf = nil, nil
+	return err
+}
+
 func runCmd(img string, d *lfs.Disk, fsp **lfs.FS, rng *rand.Rand, args []string) (quit bool) {
 	fs := *fsp
 	fail := func(err error) {
@@ -90,8 +114,9 @@ func runCmd(img string, d *lfs.Disk, fsp **lfs.FS, rng *rand.Rand, args []string
 	case "help":
 		fmt.Println("ls [path] | cat <p> | put <p> <text...> | gen <p> <KB> | rm <p> | mkdir <p>")
 		fmt.Println("mv <a> <b> | ln <a> <b> | stat <p> | df | segs | sync | checkpoint | clean")
-		fmt.Println("idle <n> | crash | fsck | save | quit")
+		fmt.Println("idle <n> | crash | fsck | stats | trace <file>|off | save | quit")
 	case "quit", "exit":
+		fail(closeTrace(fs))
 		fail(fs.Unmount())
 		fail(d.Save(img))
 		fmt.Println("saved", img)
@@ -222,7 +247,7 @@ func runCmd(img string, d *lfs.Disk, fsp **lfs.FS, rng *rand.Rand, args []string
 	case "crash":
 		d.Crash()
 		d.Reopen()
-		fs2, err := lfs.Mount(d, lfs.Options{})
+		fs2, err := lfs.Mount(d, lfs.Options{Tracer: fs.Tracer()})
 		if err != nil {
 			fail(err)
 			return
@@ -241,6 +266,41 @@ func runCmd(img string, d *lfs.Disk, fsp **lfs.FS, rng *rand.Rand, args []string
 		for _, p := range rep.Problems {
 			fmt.Println("problem:", p)
 		}
+	case "stats":
+		if fs.Tracer() == nil {
+			fmt.Println("no tracer attached")
+			return
+		}
+		out := fs.Metrics().String()
+		if out == "" {
+			fmt.Println("(no metrics recorded yet)")
+			return
+		}
+		fmt.Print(out)
+	case "trace":
+		if !need(1) {
+			return
+		}
+		tr := fs.Tracer()
+		if tr == nil {
+			fmt.Println("no tracer attached")
+			return
+		}
+		if args[1] == "off" {
+			fail(closeTrace(fs))
+			fmt.Println("tracing off")
+			return
+		}
+		fail(closeTrace(fs))
+		f, err := os.Create(args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		traceOut.f = f
+		traceOut.buf = bufio.NewWriter(f)
+		tr.SetSink(lfs.NewJSONLSink(traceOut.buf))
+		fmt.Println("tracing to", args[1])
 	case "save":
 		fail(fs.Sync())
 		fail(d.Save(img))

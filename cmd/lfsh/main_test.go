@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/lfs"
@@ -93,6 +95,47 @@ func TestShellBadCommands(t *testing.T) {
 		if quit := run(t, d, &fs, rng, line...); quit {
 			t.Fatalf("bad command %v quit the shell", line)
 		}
+	}
+}
+
+func TestShellStatsAndTrace(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "tr.img")
+	d := lfs.NewDisk(4096)
+	fs, err := lfs.Format(d, lfs.Options{SegmentBlocks: 64, Tracer: lfs.NewTracer(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	for _, line := range [][]string{
+		{"trace", out},
+		{"put", "/traced", "event", "stream"},
+		{"sync"},
+		{"trace", "off"},
+		{"stats"},
+	} {
+		if quit := runCmd(img, d, &fs, rng, line); quit {
+			t.Fatalf("command %v quit the shell", line)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v", i+1, err)
+		}
+		if e["kind"] == "" {
+			t.Fatalf("trace line %d has no kind", i+1)
+		}
+	}
+	if got := fs.Metrics().Counter("log.writes"); got == 0 {
+		t.Fatal("metrics recorded no log writes")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/ffs"
+	"repro/internal/obs"
 )
 
 // Config controls experiment scale.
@@ -19,6 +20,9 @@ type Config struct {
 	Seed int64
 	// CPU is the processor cost model (defaults to Sun4CPU).
 	CPU CPU
+	// Tracer, when non-nil, is attached to every LFS instance the suite
+	// builds, so `lfsbench -trace`/-metrics see the whole run.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +114,9 @@ func (c Config) newLFSFixedSize(nblocks int64) (*core.FS, *disk.Disk, error) {
 
 func (c Config) newLFSSized(nblocks int64, opts core.Options) (*core.FS, *disk.Disk, error) {
 	d := disk.MustNew(disk.DefaultGeometry(nblocks))
+	if opts.Tracer == nil {
+		opts.Tracer = c.Tracer
+	}
 	if c.Quick {
 		if opts.SegmentBlocks == 0 {
 			opts.SegmentBlocks = 64

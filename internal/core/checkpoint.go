@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // checkpointLocked performs the paper's two-phase checkpoint
@@ -113,5 +114,12 @@ func (fs *FS) checkpointLocked() error {
 	}
 	fs.bytesSinceCp = 0
 	fs.stats.Checkpoints++
+	fs.tr.Add(obs.CtrCheckpoints, 1)
+	if fs.tr.Tracing() {
+		fs.tr.Emit(obs.Event{
+			Kind:       obs.KindCheckpoint,
+			Checkpoint: &obs.Checkpoint{Seq: fs.cpSeq, Bytes: int64(len(buf))},
+		})
+	}
 	return nil
 }

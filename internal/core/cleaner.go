@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // blockLive decides whether the block at addr, described by summary entry
@@ -82,6 +83,7 @@ func (fs *FS) blockLive(e layout.SummaryEntry, addr int64) (bool, error) {
 type candidate struct {
 	seg   int64
 	u     float64
+	age   float64
 	score float64
 }
 
@@ -118,17 +120,17 @@ func (fs *FS) selectByPolicy(policy CleaningPolicy) []candidate {
 		if u > 0.999 {
 			continue // cleaning a full segment reclaims nothing
 		}
+		age := float64(1)
+		if now > e.LastWrite {
+			age += float64(now - e.LastWrite)
+		}
 		var score float64
 		if policy == PolicyGreedy {
 			score = 1 - u
 		} else {
-			age := float64(1)
-			if now > e.LastWrite {
-				age += float64(now - e.LastWrite)
-			}
 			score = (1 - u) * age / (1 + u)
 		}
-		cands = append(cands, candidate{seg: s, u: u, score: score})
+		cands = append(cands, candidate{seg: s, u: u, age: age, score: score})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
@@ -163,14 +165,34 @@ func (fs *FS) selectByPolicy(policy CleaningPolicy) []candidate {
 		live += l
 		kept = append(kept, c)
 	}
-	cands = kept
 	// Progress guard: the batch must free at least one whole segment
 	// beyond the space its live data consumes.
 	liveSegs := (live + fs.segBytes - 1) / fs.segBytes
-	if int64(len(cands))-liveSegs < 1 {
+	feasible := int64(len(kept))-liveSegs >= 1
+	// One candidate-decision event per scored segment, chosen only when
+	// the batch is actually going ahead (an infeasible batch is wholly
+	// rejected, so its members are reported rejected too).
+	if fs.tr.Tracing() {
+		chosen := make(map[int64]bool, len(kept))
+		if feasible {
+			for _, c := range kept {
+				chosen[c.seg] = true
+			}
+		}
+		for _, c := range cands {
+			fs.tr.Emit(obs.Event{
+				Kind: obs.KindCleanerCandidate,
+				Candidate: &obs.Candidate{
+					Seg: c.seg, U: c.u, Age: c.age, Score: c.score,
+					Policy: policy.String(), Chosen: chosen[c.seg],
+				},
+			})
+		}
+	}
+	if !feasible {
 		return nil
 	}
-	return cands
+	return kept
 }
 
 // cleanUntil runs cleaning passes until at least target clean segments
@@ -236,8 +258,11 @@ func (fs *FS) checkpointBytes() int64 {
 // release at the next checkpoint (Section 3.3).
 func (fs *FS) cleanPass(cands []candidate) error {
 	fs.stats.CleaningPasses++
+	fs.tr.Add(obs.CtrCleanerPasses, 1)
+	wroteBefore := fs.stats.CleanerWriteBytes
 	for _, c := range cands {
 		fs.stats.SegmentsCleaned++
+		fs.tr.Add(obs.CtrCleanerSegments, 1)
 		if fs.usage.get(c.seg).LiveBytes == 0 {
 			// An empty segment need not be read at all (Section 3.4:
 			// write cost 1.0 when u = 0).
@@ -252,7 +277,20 @@ func (fs *FS) cleanPass(cands []candidate) error {
 		fs.pendingCleanSet[c.seg] = true
 	}
 	// Write the copied live data (and the metadata it dirtied) to the log.
-	return fs.flushLog()
+	if err := fs.flushLog(); err != nil {
+		return err
+	}
+	if fs.tr.Tracing() {
+		fs.tr.Emit(obs.Event{
+			Kind: obs.KindCleanerPass,
+			Pass: &obs.CleanerPass{
+				SegmentsIn:          len(cands),
+				LiveBlocksRewritten: (fs.stats.CleanerWriteBytes - wroteBefore) / layout.BlockSize,
+				WriteCost:           fs.stats.WriteCost(),
+			},
+		})
+	}
+	return nil
 }
 
 // liveCopy is a live data block collected from a segment being cleaned.
@@ -299,6 +337,7 @@ func (fs *FS) collectLiveFull(seg int64) ([]liveCopy, error) {
 		return nil, err
 	}
 	fs.stats.CleanerReadBytes += fs.segBytes
+	fs.tr.Add(obs.CtrCleanerReadBytes, fs.segBytes)
 
 	var lives []liveCopy
 	off := int64(0)
@@ -345,6 +384,7 @@ func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
 			return nil, err
 		}
 		fs.stats.CleanerReadBytes += layout.BlockSize
+		fs.tr.Add(obs.CtrCleanerReadBytes, layout.BlockSize)
 		s, err := layout.DecodeSummary(sumBuf)
 		if err != nil {
 			break
@@ -390,6 +430,7 @@ func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
 			return nil, err
 		}
 		fs.stats.CleanerReadBytes += int64(len(buf))
+		fs.tr.Add(obs.CtrCleanerReadBytes, int64(len(buf)))
 		for k, w := range run {
 			block := buf[k*layout.BlockSize : (k+1)*layout.BlockSize]
 			added, err := fs.handleLiveEntry(w.e, w.addr, block)

@@ -61,24 +61,38 @@ func (fs *FS) readAt(mi *mInode, off int64, buf []byte) (int, error) {
 			buf, off, total = buf[n:], off+int64(n), total+n
 			continue
 		}
+		// Serve the block straight from the read cache when present.
+		if fs.rcache != nil {
+			if blk, ok := fs.rcache[addr]; ok {
+				n := copy(buf, blk[inBlock:])
+				buf, off, total = buf[n:], off+int64(n), total+n
+				continue
+			}
+		}
 		// Coalesce a run of blocks that are contiguous on disk into one
 		// device request. Files written sequentially are packed
 		// contiguously in the log, so sequential reads of them run at
-		// near-full bandwidth.
+		// near-full bandwidth — with or without a read cache (a cached
+		// configuration that issued one request per block would pay a
+		// half-rotation per 4 KB). Dirty or already-cached blocks end
+		// the run; they are served from memory on the next iteration.
 		maxRun := (inBlock + len(buf) + layout.BlockSize - 1) / layout.BlockSize
 		run := 1
-		if fs.rcache == nil {
-			for run < maxRun {
-				nb := bn + uint32(run)
-				if _, dirty := fs.dcache[blockKey{inum, nb}]; dirty {
-					break
-				}
-				a2, err := fs.blockAddr(mi, nb)
-				if err != nil || a2 != addr+int64(run) {
-					break
-				}
-				run++
+		for run < maxRun {
+			nb := bn + uint32(run)
+			if _, dirty := fs.dcache[blockKey{inum, nb}]; dirty {
+				break
 			}
+			a2, err := fs.blockAddr(mi, nb)
+			if err != nil || a2 != addr+int64(run) {
+				break
+			}
+			if fs.rcache != nil {
+				if _, ok := fs.rcache[addr+int64(run)]; ok {
+					break
+				}
+			}
+			run++
 		}
 		var n int
 		if run == 1 {
@@ -91,6 +105,11 @@ func (fs *FS) readAt(mi *mInode, off int64, buf []byte) (int, error) {
 			big := make([]byte, run*layout.BlockSize)
 			if err := fs.dev.Read(addr, big); err != nil {
 				return total, err
+			}
+			// Populate the read cache from the coalesced read so a
+			// re-read is served from memory.
+			for i := 0; i < run; i++ {
+				fs.cacheBlock(addr+int64(i), big[i*layout.BlockSize:(i+1)*layout.BlockSize])
 			}
 			n = copy(buf, big[inBlock:])
 		}

@@ -17,9 +17,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // RootInum is the inode number of the root directory.
@@ -94,6 +96,7 @@ type FS struct {
 	recomputeSegs map[int64]bool
 
 	stats   Stats
+	tr      *obs.Tracer
 	mounted bool
 }
 
@@ -131,6 +134,12 @@ func Format(dev *disk.Disk, opts Options) (*FS, error) {
 		CheckpointAddr:   [2]int64{1, 1 + int64(cpBlocks)},
 		CheckpointBlocks: uint32(cpBlocks),
 		MaxInodes:        uint32(opts.MaxInodes),
+	}
+	// Wire the tracer to the device before the first write so the trace
+	// covers the superblock too (newFS repeats this; it is idempotent).
+	if opts.Tracer != nil {
+		opts.Tracer.SetClock(func() time.Duration { return dev.Stats().BusyTime })
+		dev.SetTracer(opts.Tracer)
 	}
 	if err := dev.WriteBlock(0, sb.Encode()); err != nil {
 		return nil, err
@@ -185,6 +194,14 @@ func newFS(dev *disk.Disk, opts Options, sb *layout.Superblock) *FS {
 	if opts.ReadCacheBlocks > 0 {
 		fs.rcache = make(map[int64][]byte)
 	}
+	if opts.Tracer != nil {
+		fs.tr = opts.Tracer
+		// Simulated disk time is the observability clock: stamp every
+		// event with the device's accumulated busy time, and let the
+		// device itself emit per-request events.
+		fs.tr.SetClock(func() time.Duration { return dev.Stats().BusyTime })
+		dev.SetTracer(fs.tr)
+	}
 	return fs
 }
 
@@ -213,6 +230,14 @@ func (fs *FS) ResetStats() {
 	defer fs.mu.Unlock()
 	fs.stats = Stats{}
 }
+
+// Tracer returns the attached observability tracer (nil when tracing
+// was not configured).
+func (fs *FS) Tracer() *obs.Tracer { return fs.tr }
+
+// Metrics snapshots the observability metrics accumulated so far. It
+// returns an empty snapshot when no tracer is attached.
+func (fs *FS) Metrics() obs.Snapshot { return fs.tr.Metrics() }
 
 // CleanSegments returns how many segments are immediately available for
 // new log writes.
@@ -304,10 +329,16 @@ func (fs *FS) readMetaBlock(addr int64) ([]byte, error) {
 	return fs.readDiskBlock(addr)
 }
 
+// readDiskBlock reads the block at addr through the read cache. The
+// returned buffer is always private to the caller: cache hits are
+// copied out, and the cache keeps its own copy on fills, so callers may
+// mutate the result without corrupting cached data.
 func (fs *FS) readDiskBlock(addr int64) ([]byte, error) {
 	if fs.rcache != nil {
 		if b, ok := fs.rcache[addr]; ok {
-			return b, nil
+			out := make([]byte, len(b))
+			copy(out, b)
+			return out, nil
 		}
 	}
 	buf, err := fs.dev.ReadBlock(addr)
@@ -318,15 +349,19 @@ func (fs *FS) readDiskBlock(addr int64) ([]byte, error) {
 	return buf, nil
 }
 
+// cacheBlock stores a private copy of buf in the read cache, so later
+// mutation of buf by the caller cannot alias cached data.
 func (fs *FS) cacheBlock(addr int64, buf []byte) {
 	if fs.rcache == nil {
 		return
 	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
 	if _, ok := fs.rcache[addr]; ok {
-		fs.rcache[addr] = buf
+		fs.rcache[addr] = cp
 		return
 	}
-	fs.rcache[addr] = buf
+	fs.rcache[addr] = cp
 	fs.rcacheFifo = append(fs.rcacheFifo, addr)
 	for len(fs.rcacheFifo) > fs.opts.ReadCacheBlocks {
 		old := fs.rcacheFifo[0]

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // stagedBlock is one block queued for the next log write. Content is
@@ -165,11 +166,15 @@ func (fs *FS) flushPending() error {
 		fs.bytesSinceCp += int64(1+n) * layout.BlockSize
 		fs.stats.PartialWrites++
 		fs.stats.SummaryBytes += layout.BlockSize
+		var byKind [8]int64
+		var cleanerBytes int64
 		for i := range batch {
 			b := &batch[i]
 			fs.stats.addKind(b.entry.Kind, layout.BlockSize)
+			byKind[b.entry.Kind] += layout.BlockSize
 			if b.cleaner {
 				fs.stats.CleanerWriteBytes += layout.BlockSize
+				cleanerBytes += layout.BlockSize
 			} else {
 				fs.stats.NewDataBytes += layout.BlockSize
 			}
@@ -177,8 +182,51 @@ func (fs *FS) flushPending() error {
 				fs.stats.RollForwardWrites++
 			}
 		}
+		fs.tracePartialWrite(sumAddr, n, byKind, cleanerBytes)
 	}
 	return nil
+}
+
+// tracePartialWrite mirrors one partial-segment write into the obs
+// layer: per-kind byte counters (which cross-check Stats.LogBytesByKind)
+// and, when a sink is attached, one log.write event.
+func (fs *FS) tracePartialWrite(sumAddr int64, n int, byKind [8]int64, cleanerBytes int64) {
+	if fs.tr == nil {
+		return
+	}
+	fs.tr.Add(obs.CtrLogPartialWrites, 1)
+	fs.tr.Add(obs.CtrLogSummaryBytes, layout.BlockSize)
+	for k, b := range byKind {
+		if b > 0 {
+			fs.tr.Add(obs.CtrLogBytesPrefix+layout.BlockKind(k).String(), b)
+		}
+	}
+	if cleanerBytes > 0 {
+		fs.tr.Add(obs.CtrCleanerWriteBytes, cleanerBytes)
+	}
+	if fs.inRecovery {
+		fs.tr.Add(obs.CtrRollForwardWrites, int64(n))
+	}
+	if !fs.tr.Tracing() {
+		return
+	}
+	kinds := map[string]int64{"summary": layout.BlockSize}
+	for k, b := range byKind {
+		if b > 0 {
+			kinds[layout.BlockKind(k).String()] = b
+		}
+	}
+	fs.tr.Emit(obs.Event{
+		Kind: obs.KindLogWrite,
+		Log: &obs.LogWrite{
+			Seg:          fs.head,
+			Addr:         sumAddr,
+			Blocks:       1 + n,
+			BytesByKind:  kinds,
+			CleanerBytes: cleanerBytes,
+			Recovery:     fs.inRecovery,
+		},
+	})
 }
 
 // flushLog stages every buffered modification — directory operation log

@@ -214,6 +214,7 @@ func (fs *FS) Create(path string) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	defer fs.traceOp("create")()
 	fs.tick()
 	dir, name, err := fs.resolveParent(path)
 	if err != nil {
@@ -235,6 +236,7 @@ func (fs *FS) Mkdir(path string) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	defer fs.traceOp("mkdir")()
 	fs.tick()
 	dir, name, err := fs.resolveParent(path)
 	if err != nil {
@@ -257,6 +259,7 @@ func (fs *FS) WriteAt(path string, off int64, data []byte) (int, error) {
 	if !fs.mounted {
 		return 0, ErrUnmounted
 	}
+	defer fs.traceOp("write")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
 	if err != nil {
@@ -281,6 +284,7 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	defer fs.traceOp("write")()
 	fs.tick()
 	dir, name, err := fs.resolveParent(path)
 	if err != nil {
@@ -325,6 +329,7 @@ func (fs *FS) ReadAt(path string, off int64, buf []byte) (int, error) {
 	if !fs.mounted {
 		return 0, ErrUnmounted
 	}
+	defer fs.traceOp("read")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
 	if err != nil {
@@ -345,6 +350,7 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 	if !fs.mounted {
 		return nil, ErrUnmounted
 	}
+	defer fs.traceOp("read")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
 	if err != nil {
@@ -381,6 +387,7 @@ func (fs *FS) Truncate(path string, size int64) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	defer fs.traceOp("truncate")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
 	if err != nil {
@@ -449,6 +456,7 @@ func (fs *FS) Link(oldPath, newPath string) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	defer fs.traceOp("link")()
 	fs.tick()
 	if err := fs.linkLocked(oldPath, newPath); err != nil {
 		return err
@@ -492,6 +500,7 @@ func (fs *FS) Remove(path string) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	defer fs.traceOp("delete")()
 	fs.tick()
 	dir, name, err := fs.resolveParent(path)
 	if err != nil {
@@ -561,6 +570,7 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	defer fs.traceOp("rename")()
 	fs.tick()
 	if err := fs.renameLocked(oldPath, newPath); err != nil {
 		return err

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+var noopTimer = func() {}
+
+// traceOp times one public operation in simulated disk time and records
+// it in the op.<name> latency histogram (plus an fs.op event when a
+// sink is attached). Use as: defer fs.traceOp("create")().
+func (fs *FS) traceOp(name string) func() {
+	if fs.tr == nil {
+		return noopTimer
+	}
+	start := fs.dev.Stats().BusyTime
+	return func() {
+		lat := fs.dev.Stats().BusyTime - start
+		fs.tr.Observe(obs.OpHistPrefix+name, lat)
+		if fs.tr.Tracing() {
+			fs.tr.Emit(obs.Event{
+				Kind: obs.KindFSOp,
+				Op:   &obs.FSOp{Name: name, Latency: lat},
+			})
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // CleaningPolicy selects how the cleaner chooses segments to clean
 // (Section 3.4, policy question 3).
 type CleaningPolicy int
@@ -88,6 +90,17 @@ type Options struct {
 	// log. Pass the same NVRAM to Mount after a crash to replay it.
 	// NVRAM assumes roll-forward mounts.
 	NVRAM *NVRAM
+	// Tracer attaches the observability layer: per-request disk events,
+	// log-write / checkpoint / cleaner-decision events, and metrics
+	// keyed to simulated disk time. nil (the default) disables tracing
+	// at near-zero cost.
+	Tracer *obs.Tracer
+}
+
+// WithTracer returns a copy of the options with the tracer attached.
+func (o Options) WithTracer(t *obs.Tracer) Options {
+	o.Tracer = t
+	return o
 }
 
 func (o Options) withDefaults() Options {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Mount opens an existing log-structured file system. Recovery follows
@@ -148,6 +149,15 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 			return nil, err
 		}
 		fs.inRecovery = false
+		if fs.tr.Tracing() {
+			fs.tr.Emit(obs.Event{
+				Kind: obs.KindRollForward,
+				RollForward: &obs.RollForward{
+					Writes: fs.stats.RollForwardWrites,
+					DirOps: len(dirops),
+				},
+			})
+		}
 	}
 	// Replay the battery-backed write buffer, if one is attached: the
 	// operations it holds were acknowledged but had not reached the log

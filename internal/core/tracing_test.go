@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// TestReadCoalescingPopulatesCache covers the read-path fix: with a read
+// cache configured, a cold sequential read must still coalesce contiguous
+// blocks into multi-block device requests, and the coalesced read must
+// populate the cache so a re-read never touches the disk.
+func TestReadCoalescingPopulatesCache(t *testing.T) {
+	opts := testOptions()
+	opts.ReadCacheBlocks = 256
+	fs, d := newTestFS(t, 4096, opts)
+
+	const nblocks = 64
+	data := make([]byte, nblocks*layout.BlockSize)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := fs.WriteFile("/big", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := d.Stats()
+	got, err := fs.ReadFile("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cold read returned wrong content")
+	}
+	after := d.Stats()
+	ops := after.ReadOps - before.ReadOps
+	blocks := after.BlocksRead - before.BlocksRead
+	if blocks < nblocks {
+		t.Fatalf("cold read moved %d blocks, want >= %d", blocks, nblocks)
+	}
+	// Sequentially written files are packed contiguously in the log, so
+	// the 64 data blocks must arrive in a handful of large requests, not
+	// one request per block.
+	if ops > 10 {
+		t.Fatalf("cold read of %d blocks took %d requests; coalescing is not happening", nblocks, ops)
+	}
+	if blocks <= ops {
+		t.Fatalf("no multi-block request issued (%d requests for %d blocks)", ops, blocks)
+	}
+
+	// The coalesced read populated the cache: a re-read is free.
+	before = d.Stats()
+	got, err = fs.ReadFile("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cached read returned wrong content")
+	}
+	after = d.Stats()
+	if n := after.ReadOps - before.ReadOps; n != 0 {
+		t.Fatalf("re-read issued %d disk requests, want 0 (cache should serve it)", n)
+	}
+}
+
+// TestReadDiskBlockReturnsCopy is the regression test for the cache
+// aliasing bug: readDiskBlock used to return the read cache's backing
+// slice, so a caller mutating the returned block corrupted the cache.
+func TestReadDiskBlockReturnsCopy(t *testing.T) {
+	opts := testOptions()
+	opts.ReadCacheBlocks = 64
+	fs, _ := newTestFS(t, 2048, opts)
+
+	content := bytes.Repeat([]byte("aliasing"), layout.BlockSize/8)
+	if err := fs.WriteFile("/f", content); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	inum, err := fs.resolve("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := fs.loadInode(inum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := fs.blockAddr(mi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := fs.readDiskBlock(addr) // miss: populates the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := fs.readDiskBlock(addr) // hit: must be a private copy
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range second {
+		second[i] ^= 0xff
+	}
+	third, err := fs.readDiskBlock(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(third, first) {
+		t.Fatal("mutating a block returned by readDiskBlock corrupted the cache")
+	}
+	if got, err := fs.ReadFile("/f"); err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("file content changed after mutating a returned block: %v", err)
+	}
+}
+
+// churn fills the file system with files and overwrites them so dead
+// blocks accumulate and the cleaner has work to do.
+func churn(t *testing.T, fs *FS, files, rounds int) {
+	t.Helper()
+	blob := make([]byte, 8*layout.BlockSize)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < files; i++ {
+			for j := range blob {
+				blob[j] = byte(r + i + j)
+			}
+			if err := fs.WriteFile(fmt.Sprintf("/f%d", i), blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCleanerDecisionTrace checks the cleaner's candidate events against
+// the selection policy: every event's score must match its own (u, age)
+// under the policy it names, and the chosen set must account exactly for
+// the segments the cleaner went on to clean.
+func TestCleanerDecisionTrace(t *testing.T) {
+	for _, policy := range []CleaningPolicy{PolicyCostBenefit, PolicyGreedy} {
+		t.Run(policy.String(), func(t *testing.T) {
+			ring := obs.NewRingSink(1 << 18)
+			opts := testOptions()
+			opts.Policy = policy
+			opts.Tracer = obs.New(ring)
+			fs, _ := newTestFS(t, 2048, opts)
+
+			churn(t, fs, 30, 6)
+			if err := fs.Clean(); err != nil {
+				t.Fatal(err)
+			}
+			st := fs.Stats()
+			if st.SegmentsCleaned == 0 {
+				t.Fatal("workload never triggered cleaning")
+			}
+			if ring.Dropped() != 0 {
+				t.Fatalf("ring dropped %d events; grow the sink", ring.Dropped())
+			}
+
+			var chosen, passes, passSegs int64
+			candidates := 0
+			for _, e := range ring.Events() {
+				switch e.Kind {
+				case obs.KindCleanerCandidate:
+					c := e.Candidate
+					candidates++
+					var want float64
+					switch c.Policy {
+					case PolicyGreedy.String():
+						want = 1 - c.U
+					case PolicyCostBenefit.String():
+						want = (1 - c.U) * c.Age / (1 + c.U)
+					default:
+						t.Fatalf("candidate event names unknown policy %q", c.Policy)
+					}
+					if diff := c.Score - want; diff > 1e-12 || diff < -1e-12 {
+						t.Fatalf("seg %d: event score %g, policy %s computes %g from u=%g age=%g",
+							c.Seg, c.Score, c.Policy, want, c.U, c.Age)
+					}
+					if c.U < 0 || c.U > 1 {
+						t.Fatalf("seg %d: utilization %g out of range", c.Seg, c.U)
+					}
+					if c.Chosen {
+						chosen++
+					}
+				case obs.KindCleanerPass:
+					passes++
+					passSegs += int64(e.Pass.SegmentsIn)
+					if e.Pass.WriteCost < 1 {
+						t.Fatalf("pass reports write cost %g < 1", e.Pass.WriteCost)
+					}
+				}
+			}
+			if candidates == 0 {
+				t.Fatal("no candidate events emitted")
+			}
+			if chosen != st.SegmentsCleaned {
+				t.Fatalf("%d candidates chosen in trace, but %d segments cleaned", chosen, st.SegmentsCleaned)
+			}
+			if passes != st.CleaningPasses {
+				t.Fatalf("%d pass events, stats say %d passes", passes, st.CleaningPasses)
+			}
+			if passSegs != st.SegmentsCleaned {
+				t.Fatalf("pass events cover %d segments, stats say %d", passSegs, st.SegmentsCleaned)
+			}
+
+			// The metrics counters must double-book the same traffic the
+			// core stats saw.
+			m := fs.Metrics()
+			for _, c := range []struct {
+				ctr  string
+				want int64
+			}{
+				{obs.CtrCleanerReadBytes, st.CleanerReadBytes},
+				{obs.CtrCleanerWriteBytes, st.CleanerWriteBytes},
+				{obs.CtrCleanerSegments, st.SegmentsCleaned},
+				{obs.CtrCleanerPasses, st.CleaningPasses},
+				{obs.CtrCheckpoints, st.Checkpoints},
+				{obs.CtrLogSummaryBytes, st.SummaryBytes},
+			} {
+				if got := m.Counter(c.ctr); got != c.want {
+					t.Errorf("counter %s = %d, stats say %d", c.ctr, got, c.want)
+				}
+			}
+			mustCheck(t, fs)
+		})
+	}
+}
+
+// TestOpLatencyHistograms checks that public operations record latency
+// samples in simulated disk time.
+func TestOpLatencyHistograms(t *testing.T) {
+	opts := testOptions()
+	opts.Tracer = obs.New(nil)
+	fs, _ := newTestFS(t, 2048, opts)
+
+	churn(t, fs, 4, 1)
+	if _, err := fs.ReadFile("/f0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/f3"); err != nil {
+		t.Fatal(err)
+	}
+	m := fs.Metrics()
+	for _, name := range []string{"op.write", "op.read", "op.delete"} {
+		h, ok := m.Histograms[name]
+		if !ok || h.Count == 0 {
+			t.Fatalf("no latency samples recorded for %s", name)
+		}
+	}
+	if h := m.Histograms["op.write"]; h.Sum <= 0 {
+		t.Fatal("op.write latencies sum to zero simulated time; clock not wired")
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Common device errors.
@@ -117,6 +119,7 @@ type Disk struct {
 	primed  bool  // head position is meaningful
 	stats   Stats
 	crashed bool
+	tr      *obs.Tracer
 
 	// Fault injection: when writesLeft reaches zero the device crashes.
 	// A negative count disables injection.
@@ -162,6 +165,17 @@ func (d *Disk) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// SetTracer attaches an observability tracer: every request emits one
+// obs event with its seek/rotation/transfer breakdown, stamped with the
+// device's accumulated busy time. Events are emitted while the device
+// lock is held, so sinks must not call back into the device. A nil
+// tracer detaches instrumentation.
+func (d *Disk) SetTracer(tr *obs.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tr = tr
 }
 
 // ResetStats zeroes the accumulated statistics (the head position is kept).
@@ -233,11 +247,12 @@ func (d *Disk) seekCurve(dist int64) time.Duration {
 // multi-block request (a whole-segment log write) fundamentally cheaper
 // than the same blocks issued one request at a time — the effect the LFS
 // paper's comparisons rest on. A request additionally pays seek time when
-// the head has to move.
-func (d *Disk) charge(addr int64, n int) {
-	sequential := d.primed && addr == d.head
+// the head has to move. The returned breakdown feeds per-request trace
+// events.
+func (d *Disk) charge(addr int64, n int) (seek, rot, xfer time.Duration, sequential bool) {
+	sequential = d.primed && addr == d.head
 	if !sequential {
-		seek := d.seekCurve(addr - d.head)
+		seek = d.seekCurve(addr - d.head)
 		if !d.primed {
 			seek = d.seekCurve(d.geo.NumBlocks / 3)
 		}
@@ -245,15 +260,33 @@ func (d *Disk) charge(addr int64, n int) {
 		d.stats.SeekTime += seek
 		d.stats.BusyTime += seek
 	}
-	rot := d.geo.RotationTime / 2
+	rot = d.geo.RotationTime / 2
 	d.stats.RotationTime += rot
 	d.stats.BusyTime += rot
 	bytes := float64(n * d.geo.BlockSize)
-	xfer := time.Duration(bytes / d.geo.BandwidthBytesPerSec * float64(time.Second))
+	xfer = time.Duration(bytes / d.geo.BandwidthBytesPerSec * float64(time.Second))
 	d.stats.TransferTime += xfer
 	d.stats.BusyTime += xfer
 	d.head = addr + int64(n)
 	d.primed = true
+	return seek, rot, xfer, sequential
+}
+
+// emitRequest publishes one per-request trace event, stamped with the
+// post-request busy time. Called with d.mu held.
+func (d *Disk) emitRequest(op string, addr int64, n int, seek, rot, xfer time.Duration, sequential, torn bool) {
+	if !d.tr.Tracing() {
+		return
+	}
+	d.tr.Emit(obs.Event{
+		T:    d.stats.BusyTime,
+		Kind: obs.KindDiskIO,
+		Disk: &obs.DiskIO{
+			Op: op, Addr: addr, Blocks: n,
+			Seek: seek, Rotation: rot, Transfer: xfer,
+			Sequential: sequential, Torn: torn,
+		},
+	})
 }
 
 func (d *Disk) checkRange(addr int64, n int) error {
@@ -280,9 +313,12 @@ func (d *Disk) Read(addr int64, buf []byte) error {
 	if err := d.checkRange(addr, n); err != nil {
 		return err
 	}
-	d.charge(addr, n)
+	seek, rot, xfer, sequential := d.charge(addr, n)
 	d.stats.ReadOps++
 	d.stats.BlocksRead += int64(n)
+	d.tr.Add(obs.CtrDiskReadOps, 1)
+	d.tr.Add(obs.CtrDiskBlocksRead, int64(n))
+	d.emitRequest("read", addr, n, seek, rot, xfer, sequential, false)
 	for i := 0; i < n; i++ {
 		b := d.data[addr+int64(i)]
 		dst := buf[i*bs : (i+1)*bs]
@@ -315,25 +351,42 @@ func (d *Disk) Write(addr int64, data []byte) error {
 	if err := d.checkRange(addr, n); err != nil {
 		return err
 	}
-	d.charge(addr, n)
-	d.stats.WriteOps++
-	for i := 0; i < n; i++ {
-		if d.armed {
-			if d.writesLeft <= 0 {
-				d.crashed = true
-				d.stats.BlocksWritten += int64(i)
-				return ErrCrashed
-			}
-			d.writesLeft--
-		}
-		b := d.data[addr+int64(i)]
-		if b == nil {
-			b = make([]byte, bs)
-			d.data[addr+int64(i)] = b
-		}
-		copy(b, data[i*bs:(i+1)*bs])
+	// Fault injection decides up front how many blocks persist, so a
+	// torn write is charged only for its persisted prefix: the crash
+	// cuts the transfer short, and the simulated-time accounting must
+	// reflect the work the device actually did, or crash-recovery
+	// experiments overstate seek/transfer/busy time.
+	persist := n
+	torn := false
+	if d.armed && int64(n) > d.writesLeft {
+		persist = int(d.writesLeft)
+		torn = true
 	}
-	d.stats.BlocksWritten += int64(n)
+	if persist > 0 {
+		seek, rot, xfer, sequential := d.charge(addr, persist)
+		d.stats.WriteOps++
+		if d.armed {
+			d.writesLeft -= int64(persist)
+		}
+		for i := 0; i < persist; i++ {
+			b := d.data[addr+int64(i)]
+			if b == nil {
+				b = make([]byte, bs)
+				d.data[addr+int64(i)] = b
+			}
+			copy(b, data[i*bs:(i+1)*bs])
+		}
+		d.stats.BlocksWritten += int64(persist)
+		d.tr.Add(obs.CtrDiskWriteOps, 1)
+		d.tr.Add(obs.CtrDiskBlocksWritten, int64(persist))
+		d.emitRequest("write", addr, persist, seek, rot, xfer, sequential, torn)
+	} else if torn {
+		d.emitRequest("write", addr, 0, 0, 0, 0, false, true)
+	}
+	if torn {
+		d.crashed = true
+		return ErrCrashed
+	}
 	return nil
 }
 

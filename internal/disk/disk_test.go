@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func testGeo(nblocks int64) Geometry { return DefaultGeometry(nblocks) }
@@ -389,5 +391,116 @@ func TestQuickBusyTimeMonotonic(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A torn write must be charged (seek/rotation/transfer/busy time, head
+// movement, block counts) only for the prefix that actually persisted:
+// the crash cut the transfer short, and crash-recovery experiments read
+// these numbers.
+func TestTornWriteChargesOnlyPersistedPrefix(t *testing.T) {
+	const total, persisted = 8, 3
+	data := make([]byte, total*4096)
+
+	whole := MustNew(testGeo(256))
+	if err := whole.Write(16, data); err != nil {
+		t.Fatal(err)
+	}
+	full := whole.Stats()
+
+	prefix := MustNew(testGeo(256))
+	if err := prefix.Write(16, data[:persisted*4096]); err != nil {
+		t.Fatal(err)
+	}
+	want := prefix.Stats()
+
+	torn := MustNew(testGeo(256))
+	torn.FailAfterWrites(persisted)
+	if err := torn.Write(16, data); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write err = %v, want ErrCrashed", err)
+	}
+	got := torn.Stats()
+
+	if got != want {
+		t.Errorf("torn write stats = %+v, want the %d-block prefix's %+v", got, persisted, want)
+	}
+	if got.BlocksWritten != persisted {
+		t.Errorf("BlocksWritten = %d, want %d", got.BlocksWritten, persisted)
+	}
+	if got.TransferTime >= full.TransferTime {
+		t.Errorf("torn TransferTime %v not below complete write's %v", got.TransferTime, full.TransferTime)
+	}
+	if got.BusyTime >= full.BusyTime {
+		t.Errorf("torn BusyTime %v not below complete write's %v", got.BusyTime, full.BusyTime)
+	}
+	// Seek charge (same start address, same initial head) is identical.
+	if got.SeekTime != full.SeekTime {
+		t.Errorf("torn SeekTime %v != complete write's %v", got.SeekTime, full.SeekTime)
+	}
+}
+
+// A write that crashes before any block persists charges nothing.
+func TestTornWriteZeroPrefixChargesNothing(t *testing.T) {
+	d := MustNew(testGeo(256))
+	d.FailAfterWrites(0)
+	if err := d.WriteBlock(5, make([]byte, 4096)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if got := d.Stats(); got != (Stats{}) {
+		t.Errorf("stats after zero-prefix torn write = %+v, want all zero", got)
+	}
+}
+
+// Every device request emits one trace event whose time breakdown
+// matches the Stats deltas, stamped with simulated busy time.
+func TestDiskEmitsRequestEvents(t *testing.T) {
+	d := MustNew(testGeo(256))
+	sink := obs.NewRingSink(16)
+	d.SetTracer(obs.New(sink))
+
+	buf := make([]byte, 4*4096)
+	if err := d.Write(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(10, buf); err != nil { // sequential? head at 14, addr 10: no
+		t.Fatal(err)
+	}
+	if err := d.Read(14, buf); err != nil { // head at 14 after previous read
+		t.Fatal(err)
+	}
+
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	st := d.Stats()
+	var busy time.Duration
+	for i, e := range evs {
+		if e.Kind != obs.KindDiskIO || e.Disk == nil {
+			t.Fatalf("event %d: %+v", i, e)
+		}
+		if e.Disk.Blocks != 4 {
+			t.Errorf("event %d blocks = %d, want 4", i, e.Disk.Blocks)
+		}
+		busy += e.Disk.Seek + e.Disk.Rotation + e.Disk.Transfer
+		if e.T != busy {
+			t.Errorf("event %d stamped %v, want running busy time %v", i, e.T, busy)
+		}
+	}
+	if evs[0].Disk.Op != "write" || evs[1].Disk.Op != "read" {
+		t.Errorf("ops = %s,%s", evs[0].Disk.Op, evs[1].Disk.Op)
+	}
+	if evs[1].Disk.Sequential {
+		t.Error("read at old address reported sequential")
+	}
+	if !evs[2].Disk.Sequential {
+		t.Error("back-to-back read not reported sequential")
+	}
+	if busy != st.BusyTime {
+		t.Errorf("event time sum %v != BusyTime %v", busy, st.BusyTime)
+	}
+	snap := d.tr.Metrics()
+	if snap.Counter(obs.CtrDiskReadOps) != 2 || snap.Counter(obs.CtrDiskBlocksWritten) != 4 {
+		t.Errorf("metrics counters: %+v", snap.Counters)
 	}
 }

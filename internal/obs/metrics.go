@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// histBuckets is the number of exponential latency buckets. Bucket i
+// covers latencies up to histBase << i; the last bucket is unbounded.
+const histBuckets = 28
+
+// histBase is the upper bound of the first bucket. Simulated disk
+// requests are sub-millisecond to tens of milliseconds, so 64µs * 2^27
+// (~2.4 hours) comfortably covers every whole-benchmark latency.
+const histBase = 64 * time.Microsecond
+
+// histogram accumulates simulated-time latencies.
+type histogram struct {
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [histBuckets]int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	bound := histBase
+	for i := 0; i < histBuckets-1; i++ {
+		if d <= bound {
+			h.buckets[i]++
+			return
+		}
+		bound <<= 1
+	}
+	h.buckets[histBuckets-1]++
+}
+
+// Metrics accumulates named counters and latency histograms. All
+// methods are safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*histogram
+}
+
+// NewMetrics returns an empty metrics accumulator.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Add increments the named counter by delta.
+func (m *Metrics) Add(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Observe records one latency sample in the named histogram.
+func (m *Metrics) Observe(name string, d time.Duration) {
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &histogram{}
+		m.hists[name] = h
+	}
+	h.observe(d)
+	m.mu.Unlock()
+}
+
+// Reset zeroes all counters and histograms.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	m.counters = make(map[string]int64)
+	m.hists = make(map[string]*histogram)
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the accumulated metrics.
+type Snapshot struct {
+	Counters   map[string]int64
+	Histograms map[string]HistSnapshot
+}
+
+// HistSnapshot is a copy of one latency histogram. Bucket i counts
+// samples at or below Bound(i); the last bucket is unbounded.
+type HistSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Buckets []int64
+}
+
+// Bound returns the inclusive upper bound of bucket i (the last bucket
+// has no bound and returns a negative duration).
+func (h HistSnapshot) Bound(i int) time.Duration {
+	if i >= len(h.Buckets)-1 {
+		return -1
+	}
+	return histBase << uint(i)
+}
+
+// Mean returns the mean latency.
+func (h HistSnapshot) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Snapshot copies the current metrics.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(m.counters)),
+		Histograms: make(map[string]HistSnapshot, len(m.hists)),
+	}
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	for k, h := range m.hists {
+		hs := HistSnapshot{
+			Count:   h.count,
+			Sum:     h.sum,
+			Min:     h.min,
+			Max:     h.max,
+			Buckets: make([]int64, histBuckets),
+		}
+		copy(hs.Buckets, h.buckets[:])
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// String renders the snapshot as a sorted, human-readable report.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", k, s.Counters[k])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		h := s.Histograms[k]
+		fmt.Fprintf(&b, "%-28s n=%d mean=%v min=%v max=%v\n",
+			k, h.Count, h.Mean().Round(time.Microsecond),
+			h.Min.Round(time.Microsecond), h.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}

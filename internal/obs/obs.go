@@ -1,0 +1,150 @@
+// Package obs is a lightweight tracing and metrics layer for the
+// log-structured file system. Everything it records is keyed to
+// simulated disk time — the same clock the paper's evaluation uses — so
+// traces and metrics are deterministic and host-independent, exactly
+// like the benchmark numbers they explain.
+//
+// The layer has two halves:
+//
+//   - Events: discrete records (one disk request, one partial-segment
+//     log write, one cleaner candidate decision, ...) delivered to a
+//     pluggable Sink. A RingSink keeps the last N events in memory for
+//     tests; a JSONLSink streams them as JSON Lines for tools.
+//   - Metrics: named counters and simulated-time latency histograms,
+//     accumulated inside the Tracer and read with Metrics().
+//
+// Cost model: a nil *Tracer is fully disabled and every method on it is
+// a nil-check and return. A Tracer without a sink accumulates metrics
+// but constructs no events (callers guard event construction with
+// Tracing()). Sinks must be passive: an implementation must not call
+// back into the device or file system that emitted the event, because
+// events can be emitted while internal locks are held.
+package obs
+
+import "time"
+
+// Event kinds.
+const (
+	// KindDiskIO is one simulated device request, with its seek /
+	// rotation / transfer breakdown.
+	KindDiskIO = "disk.io"
+	// KindLogWrite is one partial-segment log write (summary block plus
+	// the blocks it describes).
+	KindLogWrite = "log.write"
+	// KindCheckpoint is one checkpoint-region write.
+	KindCheckpoint = "checkpoint"
+	// KindRollForward summarizes a completed roll-forward recovery.
+	KindRollForward = "recovery.rollforward"
+	// KindCleanerCandidate is one segment considered by the cleaner's
+	// selection policy, with its score and whether it was chosen.
+	KindCleanerCandidate = "cleaner.candidate"
+	// KindCleanerPass summarizes one cleaning pass.
+	KindCleanerPass = "cleaner.pass"
+	// KindFSOp is one public file system operation with its simulated
+	// latency.
+	KindFSOp = "fs.op"
+)
+
+// Counter names used by the instrumented layers. Per-kind log traffic
+// uses CtrLogBytesPrefix + the block kind name ("data", "inode", ...),
+// mirroring Stats.LogBytesByKind so the two accounting systems can be
+// cross-checked.
+const (
+	CtrDiskReadOps       = "disk.read.ops"
+	CtrDiskWriteOps      = "disk.write.ops"
+	CtrDiskBlocksRead    = "disk.read.blocks"
+	CtrDiskBlocksWritten = "disk.write.blocks"
+	CtrLogPartialWrites  = "log.writes"
+	CtrLogSummaryBytes   = "log.bytes.summary"
+	CtrLogBytesPrefix    = "log.bytes."
+	CtrCleanerReadBytes  = "cleaner.read.bytes"
+	CtrCleanerWriteBytes = "cleaner.write.bytes"
+	CtrCleanerSegments   = "cleaner.segments"
+	CtrCleanerPasses     = "cleaner.passes"
+	CtrCheckpoints       = "checkpoints"
+	CtrRollForwardWrites = "recovery.rollforward.writes"
+)
+
+// OpHistPrefix prefixes the per-operation latency histogram names
+// ("op.create", "op.read", "op.write", "op.delete", ...).
+const OpHistPrefix = "op."
+
+// Event is one traced occurrence. T is the simulated disk time at
+// emission (nanoseconds of accumulated device busy time when encoded as
+// JSON). Exactly one payload pointer is set, matching Kind.
+type Event struct {
+	T    time.Duration `json:"t"`
+	Kind string        `json:"kind"`
+
+	Disk        *DiskIO      `json:"disk,omitempty"`
+	Log         *LogWrite    `json:"log,omitempty"`
+	Checkpoint  *Checkpoint  `json:"checkpoint,omitempty"`
+	RollForward *RollForward `json:"rollforward,omitempty"`
+	Candidate   *Candidate   `json:"candidate,omitempty"`
+	Pass        *CleanerPass `json:"pass,omitempty"`
+	Op          *FSOp        `json:"op,omitempty"`
+}
+
+// DiskIO describes one simulated device request.
+type DiskIO struct {
+	Op         string        `json:"op"` // "read" or "write"
+	Addr       int64         `json:"addr"`
+	Blocks     int           `json:"blocks"` // blocks actually transferred
+	Seek       time.Duration `json:"seek"`
+	Rotation   time.Duration `json:"rotation"`
+	Transfer   time.Duration `json:"transfer"`
+	Sequential bool          `json:"sequential"`
+	// Torn marks a write cut short by fault injection; Blocks then
+	// counts only the persisted prefix.
+	Torn bool `json:"torn,omitempty"`
+}
+
+// LogWrite describes one partial-segment log write.
+type LogWrite struct {
+	Seg    int64 `json:"seg"`
+	Addr   int64 `json:"addr"`   // address of the summary block
+	Blocks int   `json:"blocks"` // blocks written, including the summary
+	// BytesByKind breaks the write down by block kind name; the summary
+	// block itself is under "summary".
+	BytesByKind  map[string]int64 `json:"bytes_by_kind"`
+	CleanerBytes int64            `json:"cleaner_bytes"` // written on behalf of the cleaner
+	Recovery     bool             `json:"recovery,omitempty"`
+}
+
+// Checkpoint describes one checkpoint-region write.
+type Checkpoint struct {
+	Seq   uint64 `json:"seq"`
+	Bytes int64  `json:"bytes"` // checkpoint region size
+}
+
+// RollForward summarizes a completed roll-forward recovery.
+type RollForward struct {
+	Writes int64 `json:"writes"` // log writes issued during recovery
+	DirOps int   `json:"dirops"` // directory-operation-log records applied
+}
+
+// Candidate is one segment considered by the cleaner's selection
+// policy. Chosen reports whether the segment made it into the batch the
+// pass actually cleaned (false for every candidate when the whole batch
+// was abandoned as infeasible).
+type Candidate struct {
+	Seg    int64   `json:"seg"`
+	U      float64 `json:"u"`
+	Age    float64 `json:"age"`
+	Score  float64 `json:"score"`
+	Policy string  `json:"policy"`
+	Chosen bool    `json:"chosen"`
+}
+
+// CleanerPass summarizes one cleaning pass.
+type CleanerPass struct {
+	SegmentsIn          int     `json:"segments_in"`
+	LiveBlocksRewritten int64   `json:"live_blocks_rewritten"`
+	WriteCost           float64 `json:"write_cost"` // cumulative, so far
+}
+
+// FSOp is one public file system operation.
+type FSOp struct {
+	Name    string        `json:"name"`
+	Latency time.Duration `json:"latency"` // simulated disk time consumed
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives emitted events. Implementations must be safe for
+// concurrent use and must not call back into the emitting device or
+// file system (events are emitted under internal locks).
+type Sink interface {
+	Emit(e Event)
+}
+
+// RingSink keeps the most recent events in a fixed-size ring buffer.
+// It is the sink of choice for tests and interactive inspection.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// NewRingSink returns a ring buffer holding the last n events.
+func NewRingSink(n int) *RingSink {
+	if n <= 0 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wrapped {
+		s.dropped++
+	}
+	s.buf[s.next] = e
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.wrapped = true
+	}
+}
+
+// Events returns the buffered events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.wrapped {
+		out := make([]Event, s.next)
+		copy(out, s.buf[:s.next])
+		return out
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Dropped returns how many events have been overwritten since the ring
+// filled.
+func (s *RingSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Reset empties the ring.
+func (s *RingSink) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next = 0
+	s.wrapped = false
+	s.dropped = 0
+}
+
+// JSONLSink streams events to w as JSON Lines (one JSON object per
+// line), the format cmd/lfsbench -trace writes and external tools read.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink encoding events onto w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink. Encoding errors are sticky and reported by Err.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Err returns the first encoding error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MultiSink fans every event out to each of its sinks.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tracer is the instrumentation handle the disk and file system layers
+// emit through. A nil *Tracer is valid and fully disabled: every method
+// short-circuits, so uninstrumented configurations pay only a nil
+// check. A non-nil Tracer always accumulates metrics; events are built
+// and delivered only while a sink is attached (guard event construction
+// with Tracing()).
+type Tracer struct {
+	sink  atomic.Pointer[sinkBox]
+	clock atomic.Pointer[clockBox]
+	m     *Metrics
+}
+
+type sinkBox struct{ s Sink }
+type clockBox struct{ f func() time.Duration }
+
+// New returns a Tracer delivering events to sink. A nil sink is valid:
+// the tracer then accumulates metrics only.
+func New(sink Sink) *Tracer {
+	t := &Tracer{m: NewMetrics()}
+	t.SetSink(sink)
+	return t
+}
+
+// SetSink replaces the event sink (nil detaches it). Safe to call while
+// the file system is running, which is how interactive tools start and
+// stop tracing.
+func (t *Tracer) SetSink(s Sink) {
+	if t == nil {
+		return
+	}
+	if s == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&sinkBox{s: s})
+}
+
+// SetClock installs the simulated-time source used to stamp events
+// whose emitter did not stamp them itself. The file system wires this
+// to the simulated device's accumulated busy time at mount.
+func (t *Tracer) SetClock(f func() time.Duration) {
+	if t == nil || f == nil {
+		return
+	}
+	t.clock.Store(&clockBox{f: f})
+}
+
+// Now returns the current simulated time, or 0 before a clock is wired.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	if c := t.clock.Load(); c != nil {
+		return c.f()
+	}
+	return 0
+}
+
+// Tracing reports whether events are being collected. Callers use it to
+// skip event construction entirely on the disabled path.
+func (t *Tracer) Tracing() bool {
+	return t != nil && t.sink.Load() != nil
+}
+
+// Emit delivers an event to the sink, stamping its time from the wired
+// clock when the emitter left T zero. No-op without a sink.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	b := t.sink.Load()
+	if b == nil {
+		return
+	}
+	if e.T == 0 {
+		e.T = t.Now()
+	}
+	b.s.Emit(e)
+}
+
+// Add increments the named metrics counter.
+func (t *Tracer) Add(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.m.Add(name, delta)
+}
+
+// Observe records a simulated-time latency sample.
+func (t *Tracer) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.m.Observe(name, d)
+}
+
+// Metrics snapshots the accumulated metrics. A nil tracer returns an
+// empty snapshot.
+func (t *Tracer) Metrics() Snapshot {
+	if t == nil {
+		return Snapshot{
+			Counters:   map[string]int64{},
+			Histograms: map[string]HistSnapshot{},
+		}
+	}
+	return t.m.Snapshot()
+}
+
+// ResetMetrics zeroes the accumulated metrics (events already delivered
+// to the sink are unaffected).
+func (t *Tracer) ResetMetrics() {
+	if t == nil {
+		return
+	}
+	t.m.Reset()
+}

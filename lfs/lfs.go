@@ -26,8 +26,11 @@
 package lfs
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/obs"
 )
 
 // FS is a mounted log-structured file system. See the methods on
@@ -76,6 +79,44 @@ type DiskGeometry = disk.Geometry
 
 // DiskStats snapshot the simulated device's activity and busy time.
 type DiskStats = disk.Stats
+
+// Tracer is the observability layer: metrics (counters + latency
+// histograms) keyed to simulated disk time, plus an optional event sink.
+// Attach one with Options.WithTracer (or by setting Options.Tracer); a
+// nil Tracer disables everything at near-zero cost. Read the metrics
+// back with (*FS).Metrics.
+type Tracer = obs.Tracer
+
+// TraceEvent is one traced occurrence: a disk request, a partial-segment
+// log write, a checkpoint, a cleaner decision, or a file-system
+// operation. Exactly one payload pointer is non-nil, selected by Kind.
+type TraceEvent = obs.Event
+
+// TraceSink receives trace events. Sinks must be passive: they are
+// invoked under internal locks and must not call back into the FS.
+type TraceSink = obs.Sink
+
+// RingSink keeps the most recent events in a fixed-size ring buffer —
+// the sink to use in tests and interactive tools.
+type RingSink = obs.RingSink
+
+// JSONLSink encodes each event as one JSON line — the sink behind
+// `lfsbench -trace`.
+type JSONLSink = obs.JSONLSink
+
+// MetricsSnapshot is a point-in-time copy of a tracer's counters and
+// latency histograms.
+type MetricsSnapshot = obs.Snapshot
+
+// NewTracer returns a tracer writing events to sink. A nil sink records
+// metrics only.
+func NewTracer(sink TraceSink) *Tracer { return obs.New(sink) }
+
+// NewRingSink returns a sink retaining the last n events.
+func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
+
+// NewJSONLSink returns a sink writing one JSON line per event to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
 
 // Errors re-exported from the implementation.
 var (

@@ -1,0 +1,156 @@
+package lfs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/layout"
+	"repro/lfs"
+)
+
+// traceEvent mirrors the JSONL schema loosely, the way an external
+// consumer of `lfsbench -trace` would parse it.
+type traceEvent struct {
+	T    time.Duration `json:"t"`
+	Kind string        `json:"kind"`
+	Log  *struct {
+		BytesByKind  map[string]int64 `json:"bytes_by_kind"`
+		CleanerBytes int64            `json:"cleaner_bytes"`
+	} `json:"log"`
+	Disk *struct {
+		Op     string `json:"op"`
+		Blocks int    `json:"blocks"`
+	} `json:"disk"`
+}
+
+// TestJSONLTraceMatchesStats drives a workload with an attached JSONL
+// sink and checks that the per-kind byte totals reconstructed from the
+// event stream equal the file system's own Stats accounting.
+func TestJSONLTraceMatchesStats(t *testing.T) {
+	var buf bytes.Buffer
+	sink := lfs.NewJSONLSink(&buf)
+	tr := lfs.NewTracer(sink)
+
+	d := lfs.NewDisk(2048)
+	fs, err := lfs.Format(d, lfs.Options{
+		SegmentBlocks: 32, MaxInodes: 2048,
+		CleanLowWater: 4, CleanHighWater: 8, CleanBatch: 4,
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := make([]byte, 8*4096)
+	for r := 0; r < 6; r++ {
+		for i := 0; i < 30; i++ {
+			for j := range blob {
+				blob[j] = byte(r + i + j)
+			}
+			if err := fs.WriteFile(fmt.Sprintf("/f%d", i), blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := fs.Clean(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	st := fs.Stats()
+	ds := d.Stats()
+
+	byKind := map[string]int64{}
+	var cleanerBytes, blocksRead, blocksWritten int64
+	var lastT time.Duration
+	n := 0
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var e traceEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", n+1, err, line)
+		}
+		n++
+		if e.Kind == "" {
+			t.Fatalf("line %d has no kind", n)
+		}
+		if e.T < lastT {
+			t.Fatalf("line %d: time went backwards (%v after %v)", n, e.T, lastT)
+		}
+		lastT = e.T
+		switch e.Kind {
+		case "log.write":
+			for k, v := range e.Log.BytesByKind {
+				byKind[k] += v
+			}
+			cleanerBytes += e.Log.CleanerBytes
+		case "disk.io":
+			switch e.Disk.Op {
+			case "read":
+				blocksRead += int64(e.Disk.Blocks)
+			case "write":
+				blocksWritten += int64(e.Disk.Blocks)
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("trace is empty")
+	}
+
+	for k := layout.KindData; k <= layout.KindDirLog; k++ {
+		if got, want := byKind[k.String()], st.LogBytesByKind[k]; got != want {
+			t.Errorf("trace log bytes for %s: %d, stats say %d", k, got, want)
+		}
+	}
+	if got := byKind["summary"]; got != st.SummaryBytes {
+		t.Errorf("trace summary bytes %d, stats say %d", got, st.SummaryBytes)
+	}
+	if cleanerBytes != st.CleanerWriteBytes {
+		t.Errorf("trace cleaner bytes %d, stats say %d", cleanerBytes, st.CleanerWriteBytes)
+	}
+	if blocksRead != ds.BlocksRead || blocksWritten != ds.BlocksWritten {
+		t.Errorf("trace disk traffic %d read / %d written blocks, device says %d / %d",
+			blocksRead, blocksWritten, ds.BlocksRead, ds.BlocksWritten)
+	}
+	if st.SegmentsCleaned == 0 {
+		t.Error("workload never triggered cleaning; cross-check is vacuous")
+	}
+}
+
+// TestTracingDisabledLeavesResultsUnchanged verifies the nil-tracer fast
+// path: an identical workload with and without a metrics-only tracer
+// must produce bit-identical stats and simulated disk time.
+func TestTracingDisabledLeavesResultsUnchanged(t *testing.T) {
+	run := func(tr *lfs.Tracer) (lfs.Stats, lfs.DiskStats) {
+		d := lfs.NewDisk(2048)
+		fs, err := lfs.Format(d, lfs.Options{SegmentBlocks: 32, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob := make([]byte, 8*4096)
+		for r := 0; r < 4; r++ {
+			for i := 0; i < 20; i++ {
+				if err := fs.WriteFile(fmt.Sprintf("/f%d", i), blob); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := fs.Unmount(); err != nil {
+			t.Fatal(err)
+		}
+		return fs.Stats(), d.Stats()
+	}
+	plainStats, plainDisk := run(nil)
+	tracedStats, tracedDisk := run(lfs.NewTracer(lfs.NewRingSink(1 << 16)))
+	if plainStats != tracedStats {
+		t.Errorf("stats differ with tracing on:\n  off: %+v\n  on:  %+v", plainStats, tracedStats)
+	}
+	if plainDisk != tracedDisk {
+		t.Errorf("disk stats differ with tracing on:\n  off: %+v\n  on:  %+v", plainDisk, tracedDisk)
+	}
+}

@@ -4,16 +4,23 @@
 //
 //	lfsh disk.img
 //	lfsh -new -size 64 disk.img
+//	lfsh fsck [-deep] disk.img
 //
 // Commands: ls [path], cat <path>, put <path> <text>, gen <path> <KB>,
 // rm <path>, mkdir <path>, mv <old> <new>, ln <old> <new>, stat <path>,
 // df, segs, sync, checkpoint, clean, idle <n>, crash, fsck, stats,
 // trace <file>|off, save, help, quit.
+//
+// The fsck subcommand mounts the image via checkpoint + roll-forward,
+// runs the structural consistency sweep non-interactively, and exits 0
+// when the image is clean, 1 when it has problems or cannot be mounted.
+// It never writes the image back.
 package main
 
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -25,6 +32,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		os.Exit(runFsck(os.Args[2:], os.Stdout))
+	}
 	var (
 		newFS  = flag.Bool("new", false, "format a fresh file system instead of mounting")
 		sizeMB = flag.Int("size", 64, "disk size in MB when formatting")
@@ -72,6 +82,52 @@ func main() {
 			break
 		}
 	}
+}
+
+// runFsck implements `lfsh fsck [-deep] <image>`. The image is loaded
+// into memory and mounted with normal recovery; nothing is written back,
+// so checking a crashed image leaves it untouched for later inspection.
+func runFsck(args []string, out io.Writer) int {
+	fl := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	fl.SetOutput(out)
+	deep := fl.Bool("deep", false, "also verify the checksum of every live log block")
+	if err := fl.Parse(args); err != nil || fl.NArg() != 1 {
+		fmt.Fprintln(out, "usage: lfsh fsck [-deep] <image>")
+		return 2
+	}
+	img := fl.Arg(0)
+	d, err := lfs.LoadDisk(img)
+	if err != nil {
+		fmt.Fprintf(out, "fsck: %s: %v\n", img, err)
+		return 1
+	}
+	fs, err := lfs.Mount(d, lfs.Options{})
+	if err != nil {
+		fmt.Fprintf(out, "fsck: %s: mount: %v\n", img, err)
+		return 1
+	}
+	rep, err := fs.Check()
+	if err != nil {
+		fmt.Fprintf(out, "fsck: %s: %v\n", img, err)
+		return 1
+	}
+	problems := rep.Problems
+	if *deep {
+		more, err := fs.VerifyLog()
+		if err != nil {
+			fmt.Fprintf(out, "fsck: %s: verify log: %v\n", img, err)
+			return 1
+		}
+		problems = append(problems, more...)
+	}
+	if len(problems) == 0 {
+		fmt.Fprintf(out, "%s: clean: %d files\n", img, rep.Files)
+		return 0
+	}
+	for _, p := range problems {
+		fmt.Fprintf(out, "%s: problem: %s\n", img, p)
+	}
+	return 1
 }
 
 // traceOut is the JSONL trace file the `trace` command writes to, if any.

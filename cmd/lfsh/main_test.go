@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"math/rand"
 	"os"
@@ -165,5 +166,92 @@ func TestShellQuitSavesImage(t *testing.T) {
 	got, err := fs2.ReadFile("/kept")
 	if err != nil || string(got) != "saved" {
 		t.Fatalf("saved image content: %q, %v", got, err)
+	}
+}
+
+// TestFsckSubcommand drives `lfsh fsck` end to end: a clean image passes
+// (exit 0), a missing image and a corrupted one fail (exit 1), and bad
+// usage is distinguished (exit 2). Data corruption is invisible to the
+// structural sweep but caught by -deep's checksum scan.
+func TestFsckSubcommand(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "fsck.img")
+	d := lfs.NewDisk(4096)
+	fs, err := lfs.Format(d, lfs.Options{SegmentBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	pattern := bytes.Repeat([]byte{0xAB}, 64<<10)
+	if err := fs.WriteFile("/dir/blob", pattern); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(img); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if code := runFsck([]string{img}, &out); code != 0 {
+		t.Fatalf("clean image: exit %d, output %q", code, out.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Fatalf("clean image output: %q", out.String())
+	}
+	out.Reset()
+	if code := runFsck([]string{"-deep", img}, &out); code != 0 {
+		t.Fatalf("clean image -deep: exit %d, output %q", code, out.String())
+	}
+	out.Reset()
+	if code := runFsck([]string{filepath.Join(t.TempDir(), "missing.img")}, &out); code != 1 {
+		t.Fatalf("missing image: exit %d", code)
+	}
+	out.Reset()
+	if code := runFsck(nil, &out); code != 2 {
+		t.Fatalf("no arguments: exit %d", code)
+	}
+
+	// Corrupt one of the blob's data blocks in place. The structural
+	// sweep never reads file data, so plain fsck stays clean; -deep's
+	// partial-write checksum scan must flag it.
+	d2, err := lfs.LoadDisk(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for addr := int64(1); addr < 4096; addr++ {
+		b, err := d2.Peek(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) > 0 && b[0] == 0xAB && b[len(b)-1] == 0xAB {
+			garbage := bytes.Repeat([]byte{0x5A}, len(b))
+			if err := d2.Poke(addr, garbage); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("no data block of the 0xAB blob found to corrupt")
+	}
+	img2 := filepath.Join(t.TempDir(), "fsck-corrupt.img")
+	if err := d2.Save(img2); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := runFsck([]string{img2}, &out); code != 0 {
+		t.Fatalf("data corruption tripped the structural sweep: %q", out.String())
+	}
+	out.Reset()
+	if code := runFsck([]string{"-deep", img2}, &out); code != 1 {
+		t.Fatalf("-deep missed the corruption: exit %d, output %q", code, out.String())
+	}
+	if !strings.Contains(out.String(), "checksum") {
+		t.Fatalf("-deep output: %q", out.String())
 	}
 }

@@ -169,7 +169,7 @@ func TestNVRAMReplaysDeletesAndRenames(t *testing.T) {
 // loses nothing at all — the model matches exactly even without Sync.
 func TestNVRAMModelEquivalenceAfterCrash(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
-		script := opScript{Seed: seed, N: 50}
+		script := Script{Seed: seed, N: 50}
 		d := disk.MustNew(disk.DefaultGeometry(8192))
 		nv := NewNVRAM(16 << 20)
 		opts := testOptions()
@@ -178,8 +178,7 @@ func TestNVRAMModelEquivalenceAfterCrash(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		model := newModelFS()
-		script.apply(t, fs, model)
+		model := applyScript(t, fs, script)
 		// No sync. Power cut.
 		d.Crash()
 		d.Reopen()
@@ -187,7 +186,7 @@ func TestNVRAMModelEquivalenceAfterCrash(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		model.verify(t, fs2)
+		mustVerify(t, model, fs2)
 		mustCheck(t, fs2)
 	}
 }

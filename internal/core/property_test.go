@@ -1,200 +1,44 @@
 package core
 
 import (
-	"bytes"
-	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/disk"
-	"repro/internal/layout"
 )
 
-// modelFS is a trivially correct in-memory file model used as the oracle
-// for property tests: path -> contents for files, path -> member set for
-// directories.
-type modelFS struct {
-	files map[string][]byte
-	dirs  map[string]bool
-}
-
-func newModelFS() *modelFS {
-	return &modelFS{files: map[string][]byte{}, dirs: map[string]bool{"/": true}}
-}
-
-// opScript is a deterministic random operation sequence.
+// opScript adapts Script to testing/quick generation.
 type opScript struct {
-	Seed int64
-	N    int
+	Script
 }
 
 // Generate implements quick.Generator.
 func (opScript) Generate(r *rand.Rand, size int) reflect.Value {
-	return reflect.ValueOf(opScript{Seed: r.Int63(), N: 20 + r.Intn(60)})
+	return reflect.ValueOf(opScript{Script{Seed: r.Int63(), N: 20 + r.Intn(60)}})
 }
 
-// apply runs the script against both the real FS and the model, failing
-// on any divergence.
-func (s opScript) apply(t *testing.T, fs *FS, model *modelFS) {
+// applyScript runs the expanded script against the file system and the
+// model, failing the test on any operation error.
+func applyScript(t *testing.T, fs *FS, s Script) *Model {
 	t.Helper()
-	rng := rand.New(rand.NewSource(s.Seed))
-	dirs := []string{"/"}
-	var files []string
-
-	pick := func(list []string) string { return list[rng.Intn(len(list))] }
-	join := func(dir, name string) string {
-		if dir == "/" {
-			return "/" + name
+	model := NewModel()
+	for i, op := range s.Ops() {
+		if err := ApplyOp(fs, op); err != nil {
+			t.Fatalf("op %d (%s): %v", i, op, err)
 		}
-		return dir + "/" + name
+		model.Apply(op)
 	}
-
-	for i := 0; i < s.N; i++ {
-		switch rng.Intn(10) {
-		case 0, 1: // create file
-			p := join(pick(dirs), fmt.Sprintf("f%d", i))
-			err := fs.Create(p)
-			if model.files[p] != nil || model.dirs[p] {
-				if err == nil {
-					t.Fatalf("op %d: create %s succeeded, model says exists", i, p)
-				}
-				continue
-			}
-			if err != nil {
-				t.Fatalf("op %d: create %s: %v", i, p, err)
-			}
-			model.files[p] = []byte{}
-			files = append(files, p)
-		case 2: // mkdir
-			p := join(pick(dirs), fmt.Sprintf("d%d", i))
-			if err := fs.Mkdir(p); err != nil {
-				t.Fatalf("op %d: mkdir %s: %v", i, p, err)
-			}
-			model.dirs[p] = true
-			dirs = append(dirs, p)
-		case 3, 4, 5: // write
-			if len(files) == 0 {
-				continue
-			}
-			p := pick(files)
-			if model.files[p] == nil {
-				continue
-			}
-			off := int64(rng.Intn(3 * layout.BlockSize))
-			data := make([]byte, 1+rng.Intn(2*layout.BlockSize))
-			rng.Read(data)
-			if _, err := fs.WriteAt(p, off, data); err != nil {
-				t.Fatalf("op %d: write %s: %v", i, p, err)
-			}
-			old := model.files[p]
-			need := int(off) + len(data)
-			if need > len(old) {
-				grown := make([]byte, need)
-				copy(grown, old)
-				old = grown
-			}
-			copy(old[off:], data)
-			model.files[p] = old
-		case 6: // truncate
-			if len(files) == 0 {
-				continue
-			}
-			p := pick(files)
-			if model.files[p] == nil {
-				continue
-			}
-			size := int64(rng.Intn(2 * layout.BlockSize))
-			if err := fs.Truncate(p, size); err != nil {
-				t.Fatalf("op %d: truncate %s: %v", i, p, err)
-			}
-			old := model.files[p]
-			if int(size) <= len(old) {
-				model.files[p] = old[:size]
-			} else {
-				grown := make([]byte, size)
-				copy(grown, old)
-				model.files[p] = grown
-			}
-		case 7: // remove file
-			if len(files) == 0 {
-				continue
-			}
-			p := pick(files)
-			if model.files[p] == nil {
-				continue
-			}
-			if err := fs.Remove(p); err != nil {
-				t.Fatalf("op %d: remove %s: %v", i, p, err)
-			}
-			delete(model.files, p)
-		case 8: // rename file into a directory
-			if len(files) == 0 {
-				continue
-			}
-			src := pick(files)
-			if model.files[src] == nil {
-				continue
-			}
-			dst := join(pick(dirs), fmt.Sprintf("r%d", i))
-			if model.files[dst] != nil || model.dirs[dst] {
-				continue
-			}
-			if err := fs.Rename(src, dst); err != nil {
-				t.Fatalf("op %d: rename %s -> %s: %v", i, src, dst, err)
-			}
-			model.files[dst] = model.files[src]
-			delete(model.files, src)
-			files = append(files, dst)
-		case 9: // sync or checkpoint
-			var err error
-			if rng.Intn(2) == 0 {
-				err = fs.Sync()
-			} else {
-				err = fs.Checkpoint()
-			}
-			if err != nil {
-				t.Fatalf("op %d: sync/checkpoint: %v", i, err)
-			}
-		}
-	}
+	return model
 }
 
-// verify compares the full model against the file system.
-func (m *modelFS) verify(t *testing.T, fs *FS) {
+// mustVerify fails the test if the model and the file system diverge.
+func mustVerify(t *testing.T, model *Model, fs *FS) {
 	t.Helper()
-	for p, want := range m.files {
-		got, err := fs.ReadFile(p)
-		if err != nil {
-			t.Fatalf("model file %s: %v", p, err)
-		}
-		if !bytes.Equal(got, want) {
-			t.Fatalf("model file %s: %d bytes differ (got %d, want %d bytes)", p, diffAt(got, want), len(got), len(want))
-		}
+	if err := model.Verify(fs); err != nil {
+		t.Fatal(err)
 	}
-	for p := range m.dirs {
-		if p == "/" {
-			continue
-		}
-		info, err := fs.Stat(p)
-		if err != nil || !info.IsDir {
-			t.Fatalf("model dir %s: %+v, %v", p, info, err)
-		}
-	}
-}
-
-func diffAt(a, b []byte) int {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		if a[i] != b[i] {
-			return i
-		}
-	}
-	return n
 }
 
 // Property: arbitrary operation sequences leave the file system equal to
@@ -202,9 +46,8 @@ func diffAt(a, b []byte) int {
 func TestQuickModelEquivalence(t *testing.T) {
 	f := func(script opScript) bool {
 		fs, _ := newTestFS(t, 8192, testOptions())
-		model := newModelFS()
-		script.apply(t, fs, model)
-		model.verify(t, fs)
+		model := applyScript(t, fs, script.Script)
+		mustVerify(t, model, fs)
 		mustCheck(t, fs)
 		return true
 	}
@@ -222,8 +65,7 @@ func TestQuickModelSurvivesCrash(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		model := newModelFS()
-		script.apply(t, fs, model)
+		model := applyScript(t, fs, script.Script)
 		if err := fs.Sync(); err != nil {
 			t.Fatal(err)
 		}
@@ -233,7 +75,7 @@ func TestQuickModelSurvivesCrash(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Mount: %v", err)
 		}
-		model.verify(t, fs2)
+		mustVerify(t, model, fs2)
 		mustCheck(t, fs2)
 		return true
 	}
@@ -250,8 +92,7 @@ func TestQuickModelSurvivesRemount(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		model := newModelFS()
-		script.apply(t, fs, model)
+		model := applyScript(t, fs, script.Script)
 		if err := fs.Unmount(); err != nil {
 			t.Fatal(err)
 		}
@@ -261,7 +102,7 @@ func TestQuickModelSurvivesRemount(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		model.verify(t, fs2)
+		mustVerify(t, model, fs2)
 		mustCheck(t, fs2)
 		return true
 	}
@@ -274,16 +115,27 @@ func TestQuickModelSurvivesRemount(t *testing.T) {
 func TestQuickCleaningPreservesModel(t *testing.T) {
 	f := func(script opScript) bool {
 		fs, _ := newTestFS(t, 8192, testOptions())
-		model := newModelFS()
-		script.apply(t, fs, model)
+		model := applyScript(t, fs, script.Script)
 		if err := fs.Clean(); err != nil {
 			t.Fatalf("Clean: %v", err)
 		}
-		model.verify(t, fs)
+		mustVerify(t, model, fs)
 		mustCheck(t, fs)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The script expansion must be deterministic: crash-point replay in
+// internal/crashtest depends on Ops() being a pure function of the seed.
+func TestScriptExpansionDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := Script{Seed: seed, N: 60}
+		a, b := s.Ops(), s.Ops()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two expansions differ", seed)
+		}
 	}
 }

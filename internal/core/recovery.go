@@ -459,16 +459,42 @@ func (fs *FS) collectMapAddrs(ino *layout.Inode) ([]int64, error) {
 // state, restoring consistency between directory entries and inode
 // reference counts (Section 4.2). Operations whose inode never reached
 // the log are undone (the directory entry is removed).
+//
+// An undone rename leaves the file's entry at its old location, so later
+// records for the same file reference a (directory, name) that no longer
+// matches where the entry actually is. The displaced map tracks the
+// entry's effective location so those records chase it: a remove after
+// an undone rename must delete the old-name entry (not leave it dangling
+// at a freed inode), and a second rename must move it from there.
 func (fs *FS) applyDirOps(ops []*layout.DirOp) error {
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
+	type loc struct {
+		dir  uint32
+		name string
+	}
+	displaced := map[uint32]loc{}
+	srcOf := func(op *layout.DirOp) loc {
+		if l, ok := displaced[op.Inum]; ok {
+			return l
+		}
+		return loc{op.Dir, op.Name}
+	}
 	for _, op := range ops {
 		switch op.Op {
 		case layout.DirOpCreate, layout.DirOpLink:
+			delete(displaced, op.Inum)
 			if err := fs.repairEntry(op.Dir, op.Name, op.Inum, op.Version, op.NewNlink); err != nil {
 				return err
 			}
 		case layout.DirOpUnlink:
-			if err := fs.repairRemoveEntry(op.Dir, op.Name, op.Inum); err != nil {
+			src := srcOf(op)
+			delete(displaced, op.Inum)
+			if !fs.imap.get(src.dir).Allocated() {
+				// The entry lives (if anywhere) in a directory that never
+				// reached the log; the unlink is undone along with it.
+				continue
+			}
+			if err := fs.repairRemoveEntry(src.dir, src.name, op.Inum); err != nil {
 				return err
 			}
 			if err := fs.repairNlink(op.Inum, op.Version, op.NewNlink); err != nil {
@@ -478,16 +504,19 @@ func (fs *FS) applyDirOps(ops []*layout.DirOp) error {
 			// A rename completes only if both the file's inode and the
 			// destination directory are recoverable; otherwise it is
 			// undone so the file stays reachable under its old name.
+			src := srcOf(op)
 			ie := fs.imap.get(op.Inum)
 			inodeOK := ie.Allocated() && ie.Version == op.Version
 			dstOK := fs.imap.get(op.Dir2).Allocated()
 			if inodeOK && !dstOK {
-				if err := fs.repairEntry(op.Dir, op.Name, op.Inum, op.Version, op.NewNlink); err != nil {
+				if err := fs.repairEntry(src.dir, src.name, op.Inum, op.Version, op.NewNlink); err != nil {
 					return err
 				}
+				displaced[op.Inum] = src
 				continue
 			}
-			if err := fs.repairRemoveEntry(op.Dir, op.Name, op.Inum); err != nil {
+			delete(displaced, op.Inum)
+			if err := fs.repairRemoveEntry(src.dir, src.name, op.Inum); err != nil {
 				return err
 			}
 			if err := fs.repairEntry(op.Dir2, op.Name2, op.Inum, op.Version, op.NewNlink); err != nil {

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/layout"
+)
+
+// This file is the shared workload machinery behind the property tests,
+// the crash-recovery seed sweep, and the crash-point exploration harness
+// in internal/crashtest: deterministic random operation scripts, a
+// trivially correct in-memory model to judge them against, and an applier
+// that runs script operations against a real FS. Keeping one generator
+// here means every suite draws workloads from the same distribution, so a
+// seed that fails in one harness reproduces in the others.
+
+// OpKind enumerates script operations.
+type OpKind int
+
+// Script operations.
+const (
+	OpCreate OpKind = iota
+	OpMkdir
+	OpWrite
+	OpTruncate
+	OpRemove
+	OpRename
+	OpSync
+	OpCheckpoint
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpMkdir:
+		return "mkdir"
+	case OpWrite:
+		return "write"
+	case OpTruncate:
+		return "truncate"
+	case OpRemove:
+		return "remove"
+	case OpRename:
+		return "rename"
+	case OpSync:
+		return "sync"
+	case OpCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one concrete file system operation. Every generated Op succeeds
+// when the expanded script is applied in order to a fresh file system.
+type Op struct {
+	Kind  OpKind
+	Path  string
+	Path2 string // rename destination
+	Off   int64  // write offset
+	Data  []byte // write payload
+	Size  int64  // truncate size
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (op Op) String() string {
+	switch op.Kind {
+	case OpWrite:
+		return fmt.Sprintf("write %s off=%d len=%d", op.Path, op.Off, len(op.Data))
+	case OpTruncate:
+		return fmt.Sprintf("truncate %s size=%d", op.Path, op.Size)
+	case OpRename:
+		return fmt.Sprintf("rename %s -> %s", op.Path, op.Path2)
+	case OpSync, OpCheckpoint:
+		return op.Kind.String()
+	default:
+		return fmt.Sprintf("%s %s", op.Kind, op.Path)
+	}
+}
+
+// Script is a deterministic random operation sequence: the same (Seed, N)
+// always expands to the same operations.
+type Script struct {
+	Seed int64
+	N    int
+}
+
+// Ops expands the script into its concrete operation list. The generator
+// tracks enough state to only emit operations that will succeed; an
+// iteration whose drawn operation is inapplicable (for example a write
+// with no files yet) emits nothing, so the number of operations can be
+// smaller than N.
+func (s Script) Ops() []Op {
+	rng := rand.New(rand.NewSource(s.Seed))
+	dirs := []string{"/"}
+	var files []string
+	alive := map[string]bool{}
+	taken := map[string]bool{"/": true}
+
+	pick := func(list []string) string { return list[rng.Intn(len(list))] }
+	join := func(dir, name string) string {
+		if dir == "/" {
+			return "/" + name
+		}
+		return dir + "/" + name
+	}
+
+	var ops []Op
+	for i := 0; i < s.N; i++ {
+		switch rng.Intn(10) {
+		case 0, 1: // create file
+			p := join(pick(dirs), fmt.Sprintf("f%d", i))
+			if taken[p] {
+				continue
+			}
+			ops = append(ops, Op{Kind: OpCreate, Path: p})
+			taken[p], alive[p] = true, true
+			files = append(files, p)
+		case 2: // mkdir
+			p := join(pick(dirs), fmt.Sprintf("d%d", i))
+			if taken[p] {
+				continue
+			}
+			ops = append(ops, Op{Kind: OpMkdir, Path: p})
+			taken[p] = true
+			dirs = append(dirs, p)
+		case 3, 4, 5: // write
+			if len(files) == 0 {
+				continue
+			}
+			p := pick(files)
+			if !alive[p] {
+				continue
+			}
+			off := int64(rng.Intn(3 * layout.BlockSize))
+			data := make([]byte, 1+rng.Intn(2*layout.BlockSize))
+			rng.Read(data)
+			ops = append(ops, Op{Kind: OpWrite, Path: p, Off: off, Data: data})
+		case 6: // truncate
+			if len(files) == 0 {
+				continue
+			}
+			p := pick(files)
+			if !alive[p] {
+				continue
+			}
+			size := int64(rng.Intn(2 * layout.BlockSize))
+			ops = append(ops, Op{Kind: OpTruncate, Path: p, Size: size})
+		case 7: // remove file
+			if len(files) == 0 {
+				continue
+			}
+			p := pick(files)
+			if !alive[p] {
+				continue
+			}
+			ops = append(ops, Op{Kind: OpRemove, Path: p})
+			alive[p] = false
+			delete(taken, p)
+		case 8: // rename file into a directory
+			if len(files) == 0 {
+				continue
+			}
+			src := pick(files)
+			if !alive[src] {
+				continue
+			}
+			dst := join(pick(dirs), fmt.Sprintf("r%d", i))
+			if taken[dst] {
+				continue
+			}
+			ops = append(ops, Op{Kind: OpRename, Path: src, Path2: dst})
+			alive[src] = false
+			delete(taken, src)
+			taken[dst], alive[dst] = true, true
+			files = append(files, dst)
+		case 9: // sync or checkpoint
+			if rng.Intn(2) == 0 {
+				ops = append(ops, Op{Kind: OpSync})
+			} else {
+				ops = append(ops, Op{Kind: OpCheckpoint})
+			}
+		}
+	}
+	return ops
+}
+
+// ApplyOp runs one script operation against the file system.
+func ApplyOp(fs *FS, op Op) error {
+	switch op.Kind {
+	case OpCreate:
+		return fs.Create(op.Path)
+	case OpMkdir:
+		return fs.Mkdir(op.Path)
+	case OpWrite:
+		_, err := fs.WriteAt(op.Path, op.Off, op.Data)
+		return err
+	case OpTruncate:
+		return fs.Truncate(op.Path, op.Size)
+	case OpRemove:
+		return fs.Remove(op.Path)
+	case OpRename:
+		return fs.Rename(op.Path, op.Path2)
+	case OpSync:
+		return fs.Sync()
+	case OpCheckpoint:
+		return fs.Checkpoint()
+	default:
+		return fmt.Errorf("script: unknown op kind %d", op.Kind)
+	}
+}
+
+// Model is a trivially correct in-memory file model used as the oracle
+// for property tests: path -> contents for files, path -> presence for
+// directories.
+type Model struct {
+	Files map[string][]byte
+	Dirs  map[string]bool
+}
+
+// NewModel returns a model holding only the root directory.
+func NewModel() *Model {
+	return &Model{Files: map[string][]byte{}, Dirs: map[string]bool{"/": true}}
+}
+
+// Apply folds one operation into the model. Operations come from
+// Script.Ops and are valid by construction; Sync and Checkpoint do not
+// change the modeled state.
+func (m *Model) Apply(op Op) {
+	switch op.Kind {
+	case OpCreate:
+		m.Files[op.Path] = []byte{}
+	case OpMkdir:
+		m.Dirs[op.Path] = true
+	case OpWrite:
+		old := m.Files[op.Path]
+		need := int(op.Off) + len(op.Data)
+		if need > len(old) {
+			grown := make([]byte, need)
+			copy(grown, old)
+			old = grown
+		}
+		copy(old[op.Off:], op.Data)
+		m.Files[op.Path] = old
+	case OpTruncate:
+		old := m.Files[op.Path]
+		if int(op.Size) <= len(old) {
+			m.Files[op.Path] = old[:op.Size]
+		} else {
+			grown := make([]byte, op.Size)
+			copy(grown, old)
+			m.Files[op.Path] = grown
+		}
+	case OpRemove:
+		delete(m.Files, op.Path)
+	case OpRename:
+		m.Files[op.Path2] = m.Files[op.Path]
+		delete(m.Files, op.Path)
+	}
+}
+
+// Verify compares the full model against the file system and returns the
+// first divergence found.
+func (m *Model) Verify(fs *FS) error {
+	for p, want := range m.Files {
+		got, err := fs.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("model file %s: %w", p, err)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("model file %s: differs at byte %d (got %d, want %d bytes)",
+				p, diffAt(got, want), len(got), len(want))
+		}
+	}
+	for p := range m.Dirs {
+		if p == "/" {
+			continue
+		}
+		info, err := fs.Stat(p)
+		if err != nil {
+			return fmt.Errorf("model dir %s: %w", p, err)
+		}
+		if !info.IsDir {
+			return fmt.Errorf("model dir %s: is not a directory", p)
+		}
+	}
+	return nil
+}
+
+func diffAt(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,274 @@
+// Package crashtest systematically explores mid-workload power cuts and
+// verifies that checkpoint + roll-forward recovery (Section 4 of the LFS
+// paper) restores a consistent file system from every one of them.
+//
+// The harness runs a deterministic random workload (core.Script) once
+// while recording the device's cumulative persisted-block count after
+// every operation. It then replays the identical workload against
+// independent clones of the starting image, arming the simulated disk to
+// cut power after k persisted blocks — for every write boundary k when
+// the workload is small, or a stratified sample (plus every sync/
+// checkpoint boundary, where torn checkpoints live) when it is not. Each
+// crashed image must mount via roll-forward, pass the structural
+// consistency sweep, and satisfy a durability-aware oracle: everything
+// acknowledged by the last fully persisted Sync or Checkpoint survives,
+// and anything later is either absent or a state the workload actually
+// passed through (see oracle.go).
+//
+// The approach follows the crash-point enumeration style of
+// CrashMonkey/ACE (OSDI 2018) adapted to a log-structured device: write
+// boundaries are the only places a fail-stop power cut can land, and the
+// simulated disk already tears multi-block writes at the boundary.
+package crashtest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+// Config sizes the harness. The zero value is completed with defaults
+// matching the core package's test geometry: an 8192-block (32 MB) disk
+// with 128 KB segments.
+type Config struct {
+	// DiskBlocks is the simulated device capacity (default 8192).
+	DiskBlocks int64
+	// Opts are the file system options used for every format, mount and
+	// replay. The zero value gets small-disk test defaults.
+	Opts *core.Options
+	// MaxPoints caps crash points per workload; workloads with at most
+	// MaxPoints write boundaries are explored exhaustively, larger ones
+	// are sampled (default 16). Negative means always exhaustive.
+	MaxPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DiskBlocks == 0 {
+		c.DiskBlocks = 8192
+	}
+	if c.Opts == nil {
+		c.Opts = &core.Options{
+			SegmentBlocks:  32,
+			MaxInodes:      2048,
+			CleanLowWater:  4,
+			CleanHighWater: 8,
+			CleanBatch:     4,
+		}
+	}
+	if c.MaxPoints == 0 {
+		c.MaxPoints = 16
+	}
+	return c
+}
+
+// Workload is one recorded workload, ready for crash-point replay.
+type Workload struct {
+	Script core.Script
+	Ops    []core.Op
+
+	cfg  Config
+	snap *disk.Snapshot // formatted, checkpointed starting image
+	cum  []int64        // persisted blocks after each op (post-mount relative)
+	hist *history
+}
+
+// Record formats a starting image, replays the script once against a
+// clone of it, and records the persisted-block count at every operation
+// boundary. The recording run itself must finish with the file system
+// equal to the model and structurally consistent — a failure here is a
+// plain (crash-free) bug, reported before any crash-point work starts.
+func Record(s core.Script, cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	d0 := disk.MustNew(disk.DefaultGeometry(cfg.DiskBlocks))
+	fs, err := core.Format(d0, *cfg.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: format: %w", err)
+	}
+	if err := fs.Unmount(); err != nil {
+		return nil, fmt.Errorf("crashtest: unmount after format: %w", err)
+	}
+	w := &Workload{Script: s, Ops: s.Ops(), cfg: cfg, snap: d0.Snapshot()}
+	w.hist = buildHistory(w.Ops)
+
+	d := disk.FromSnapshot(w.snap)
+	fs, err = core.Mount(d, *cfg.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: record mount: %w", err)
+	}
+	base := d.Stats().BlocksWritten
+	model := core.NewModel()
+	w.cum = make([]int64, len(w.Ops))
+	for i, op := range w.Ops {
+		if err := core.ApplyOp(fs, op); err != nil {
+			return nil, fmt.Errorf("crashtest: record op %d (%s): %w", i, op, err)
+		}
+		model.Apply(op)
+		w.cum[i] = d.Stats().BlocksWritten - base
+	}
+	if err := model.Verify(fs); err != nil {
+		return nil, fmt.Errorf("crashtest: record run diverged from model: %w", err)
+	}
+	rep, err := fs.Check()
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: record check: %w", err)
+	}
+	if len(rep.Problems) > 0 {
+		return nil, fmt.Errorf("crashtest: record run inconsistent: %s", rep.Problems[0])
+	}
+	return w, nil
+}
+
+// Total returns how many blocks the workload persists end to end; the
+// crash-point space is [0, Total).
+func (w *Workload) Total() int64 {
+	if len(w.cum) == 0 {
+		return 0
+	}
+	return w.cum[len(w.cum)-1]
+}
+
+// Points enumerates the crash points to explore: every write boundary
+// when the workload persists at most cfg.MaxPoints blocks, otherwise an
+// evenly spaced sample of MaxPoints boundaries plus the boundaries just
+// before and at each Sync/Checkpoint completion (the torn-checkpoint
+// region, which stratified sampling alone would usually miss).
+func (w *Workload) Points() []int64 {
+	total := w.Total()
+	if total == 0 {
+		return nil
+	}
+	max := w.cfg.MaxPoints
+	if max < 0 || total <= int64(max) {
+		out := make([]int64, total)
+		for k := range out {
+			out[k] = int64(k)
+		}
+		return out
+	}
+	set := make(map[int64]bool)
+	for j := 0; j < max; j++ {
+		set[int64(j)*total/int64(max)] = true
+	}
+	for i, op := range w.Ops {
+		if op.Kind != core.OpSync && op.Kind != core.OpCheckpoint {
+			continue
+		}
+		for _, k := range []int64{w.cum[i] - 1, w.cum[i]} {
+			if k >= 0 && k < total {
+				set[k] = true
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortInt64s(out)
+	return out
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// crashIndex returns the index of the operation during which a power cut
+// after k persisted blocks lands: the first operation whose cumulative
+// write count exceeds k.
+func (w *Workload) crashIndex(k int64) int {
+	for i, c := range w.cum {
+		if c > k {
+			return i
+		}
+	}
+	return len(w.Ops)
+}
+
+// floorIndex returns the index of the last Sync/Checkpoint operation
+// that fully persisted before the power cut (-1 when none did: the
+// durable floor is then the freshly formatted image).
+func (w *Workload) floorIndex(k int64) int {
+	floor := -1
+	for i, op := range w.Ops {
+		if w.cum[i] > k {
+			break
+		}
+		if op.Kind == core.OpSync || op.Kind == core.OpCheckpoint {
+			floor = i
+		}
+	}
+	return floor
+}
+
+// RunPoint replays the workload against a fresh clone of the starting
+// image with power cut after k persisted blocks, then mounts the crashed
+// image via roll-forward and verifies it: structural consistency plus
+// the durability oracle. It returns nil when recovery is correct.
+func (w *Workload) RunPoint(k int64) error {
+	if k < 0 || k >= w.Total() {
+		return fmt.Errorf("crashtest: crash point %d outside [0,%d)", k, w.Total())
+	}
+	d := disk.FromSnapshot(w.snap)
+	fs, err := core.Mount(d, *w.cfg.Opts)
+	if err != nil {
+		return fmt.Errorf("crashtest: k=%d: pre-crash mount: %w", k, err)
+	}
+	d.FailAfterWrites(k)
+	crashed := -1
+	for i, op := range w.Ops {
+		if err := core.ApplyOp(fs, op); err != nil {
+			if !d.Crashed() {
+				return fmt.Errorf("crashtest: k=%d: op %d (%s) failed without a crash: %w", k, i, op, err)
+			}
+			crashed = i
+			break
+		}
+	}
+	if crashed == -1 {
+		return fmt.Errorf("crashtest: k=%d < total=%d but the replay never crashed (nondeterministic replay?)", k, w.Total())
+	}
+	if want := w.crashIndex(k); crashed != want {
+		return fmt.Errorf("crashtest: k=%d: crashed during op %d, recording says op %d (nondeterministic replay)", k, crashed, want)
+	}
+
+	d.Reopen()
+	fs2, err := core.Mount(d, *w.cfg.Opts)
+	if err != nil {
+		return fmt.Errorf("crashtest: k=%d (crash in op %d, %s): recovery mount: %w", k, crashed, w.Ops[crashed], err)
+	}
+	rep, err := fs2.Check()
+	if err != nil {
+		return fmt.Errorf("crashtest: k=%d: post-recovery check: %w", k, err)
+	}
+	if len(rep.Problems) > 0 {
+		return fmt.Errorf("crashtest: k=%d (crash in op %d, %s): recovered image inconsistent: %s",
+			k, crashed, w.Ops[crashed], rep.Problems[0])
+	}
+	floor := w.floorIndex(k)
+	if err := w.hist.check(fs2, floor, crashed); err != nil {
+		return fmt.Errorf("crashtest: k=%d (crash in op %d, %s; floor op %d): %w",
+			k, crashed, w.Ops[crashed], floor, err)
+	}
+	return nil
+}
+
+// Sweep records the script and runs every enumerated crash point,
+// returning how many points were explored and the first failure (if any)
+// wrapped with the script's seed for reproduction.
+func Sweep(s core.Script, cfg Config) (int, error) {
+	w, err := Record(s, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("seed %d: %w", s.Seed, err)
+	}
+	points := w.Points()
+	for _, k := range points {
+		if err := w.RunPoint(k); err != nil {
+			return len(points), fmt.Errorf("seed %d: %w", s.Seed, err)
+		}
+	}
+	return len(points), nil
+}

@@ -1,0 +1,29 @@
+package crashtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzOpScript lets the fuzzer drive workload generation: every (seed,
+// length) pair expands to a deterministic operation script that is
+// recorded and then crash-replayed at a handful of sampled points. The
+// oracle inside Sweep does all the checking; the fuzzer's job is to find
+// a script shape whose recovery misbehaves. Reproduce any failure with
+// the printed seed via TestPinnedCrashPoints-style Record + RunPoint.
+func FuzzOpScript(f *testing.F) {
+	f.Add(int64(0), uint8(30))
+	f.Add(int64(37), uint8(120))
+	f.Add(int64(127), uint8(120))
+	f.Add(int64(162), uint8(60))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		if n == 0 {
+			return
+		}
+		s := core.Script{Seed: seed, N: int(n)}
+		if _, err := Sweep(s, Config{MaxPoints: 6}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -114,6 +114,10 @@ type Disk struct {
 	mu   sync.Mutex
 	geo  Geometry
 	data [][]byte // lazily allocated; nil means all zero
+	// cow marks blocks shared with a Snapshot: they are immutable and
+	// must be replaced, not written in place. nil when the device has
+	// never been snapshotted (the common case costs nothing).
+	cow []bool
 
 	head    int64 // block address following the last transfer
 	primed  bool  // head position is meaningful
@@ -183,6 +187,69 @@ func (d *Disk) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats = Stats{}
+}
+
+// Snapshot is an immutable point-in-time image of a device's persisted
+// contents. It can be turned into any number of independent devices with
+// FromSnapshot; taking and instantiating snapshots is O(blocks) pointer
+// copies, not data copies, because block contents are shared copy-on-write.
+// Crash-point exploration clones one formatted image per crash point this
+// way instead of re-running Format for every replay.
+type Snapshot struct {
+	geo  Geometry
+	data [][]byte
+}
+
+// Geometry returns the geometry of the snapshotted device.
+func (s *Snapshot) Geometry() Geometry { return s.geo }
+
+// Snapshot captures the device's current persisted contents. The device
+// remains usable: blocks shared with the snapshot are copied on their next
+// write. Snapshots work on crashed devices too (they see persisted state).
+func (d *Disk) Snapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data := make([][]byte, len(d.data))
+	copy(data, d.data)
+	if d.cow == nil {
+		d.cow = make([]bool, len(d.data))
+	}
+	for i, b := range d.data {
+		if b != nil {
+			d.cow[i] = true
+		}
+	}
+	return &Snapshot{geo: d.geo, data: data}
+}
+
+// FromSnapshot creates a fresh device (clean stats, nothing armed) whose
+// persisted contents equal the snapshot's. The snapshot can be
+// instantiated any number of times; instances never interfere.
+func FromSnapshot(s *Snapshot) *Disk {
+	data := make([][]byte, len(s.data))
+	copy(data, s.data)
+	cow := make([]bool, len(s.data))
+	for i, b := range data {
+		if b != nil {
+			cow[i] = true
+		}
+	}
+	return &Disk{geo: s.geo, data: data, cow: cow, writesLeft: -1}
+}
+
+// blockForWrite returns the buffer for block i, replacing any buffer
+// shared with a snapshot. The caller overwrites the full block. Called
+// with d.mu held.
+func (d *Disk) blockForWrite(i int64) []byte {
+	b := d.data[i]
+	if b == nil || (d.cow != nil && d.cow[i]) {
+		b = make([]byte, d.geo.BlockSize)
+		d.data[i] = b
+		if d.cow != nil {
+			d.cow[i] = false
+		}
+	}
+	return b
 }
 
 // FailAfterWrites arms fault injection: the device crashes after n more
@@ -369,11 +436,7 @@ func (d *Disk) Write(addr int64, data []byte) error {
 			d.writesLeft -= int64(persist)
 		}
 		for i := 0; i < persist; i++ {
-			b := d.data[addr+int64(i)]
-			if b == nil {
-				b = make([]byte, bs)
-				d.data[addr+int64(i)] = b
-			}
+			b := d.blockForWrite(addr + int64(i))
 			copy(b, data[i*bs:(i+1)*bs])
 		}
 		d.stats.BlocksWritten += int64(persist)
@@ -437,5 +500,8 @@ func (d *Disk) Poke(addr int64, data []byte) error {
 	b := make([]byte, d.geo.BlockSize)
 	copy(b, data)
 	d.data[addr] = b
+	if d.cow != nil {
+		d.cow[addr] = false
+	}
 	return nil
 }

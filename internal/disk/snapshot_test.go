@@ -1,0 +1,117 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+)
+
+func fill(v byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+// A snapshot must be isolated from later writes to the source device, and
+// every instantiated clone must be isolated from the others.
+func TestSnapshotIsolation(t *testing.T) {
+	d := MustNew(DefaultGeometry(64))
+	bs := d.BlockSize()
+	if err := d.WriteBlock(3, fill(0xaa, bs)); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+
+	// Writing the source after the snapshot must not change the snapshot.
+	if err := d.WriteBlock(3, fill(0xbb, bs)); err != nil {
+		t.Fatal(err)
+	}
+	c1 := FromSnapshot(snap)
+	got, err := c1.ReadBlock(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fill(0xaa, bs)) {
+		t.Fatalf("clone sees source's post-snapshot write: %x...", got[:4])
+	}
+
+	// Writing one clone must not leak into a sibling clone.
+	if err := c1.WriteBlock(3, fill(0xcc, bs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.WriteBlock(4, fill(0xdd, bs)); err != nil {
+		t.Fatal(err)
+	}
+	c2 := FromSnapshot(snap)
+	for addr, want := range map[int64][]byte{3: fill(0xaa, bs), 4: make([]byte, bs)} {
+		got, err := c2.ReadBlock(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("sibling clone corrupted at block %d", addr)
+		}
+	}
+
+	// Poke must respect copy-on-write too.
+	c3 := FromSnapshot(snap)
+	if err := c3.Poke(3, fill(0xee, bs)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c2.Peek(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fill(0xaa, bs)) {
+		t.Fatal("Poke on one clone leaked into a sibling")
+	}
+}
+
+// Clones come up with fresh stats and disarmed fault injection, and honor
+// FailAfterWrites independently.
+func TestSnapshotCloneIsFreshDevice(t *testing.T) {
+	d := MustNew(DefaultGeometry(64))
+	bs := d.BlockSize()
+	if err := d.WriteBlock(1, fill(1, bs)); err != nil {
+		t.Fatal(err)
+	}
+	d.FailAfterWrites(0)
+	snap := d.Snapshot()
+
+	c := FromSnapshot(snap)
+	if st := c.Stats(); st.WriteOps != 0 || st.BlocksWritten != 0 {
+		t.Fatalf("clone has inherited stats: %+v", st)
+	}
+	if err := c.WriteBlock(2, fill(2, bs)); err != nil {
+		t.Fatalf("clone inherited armed fault injection: %v", err)
+	}
+	c.FailAfterWrites(1)
+	if err := c.WriteBlock(2, fill(3, bs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBlock(2, fill(4, bs)); err != ErrCrashed {
+		t.Fatalf("crash point not honored on clone: %v", err)
+	}
+	if !c.Crashed() {
+		t.Fatal("clone not crashed after hitting its crash point")
+	}
+}
+
+// A snapshot taken from a crashed device captures the persisted state.
+func TestSnapshotOfCrashedDevice(t *testing.T) {
+	d := MustNew(DefaultGeometry(64))
+	bs := d.BlockSize()
+	if err := d.WriteBlock(5, fill(7, bs)); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	c := FromSnapshot(d.Snapshot())
+	got, err := c.ReadBlock(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fill(7, bs)) {
+		t.Fatal("snapshot of crashed device lost persisted data")
+	}
+}

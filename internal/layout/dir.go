@@ -152,6 +152,9 @@ func EncodeDirOpLog(ops []*DirOp) (block []byte, consumed int, err error) {
 // DecodeDirOpLog parses a dirlog block.
 func DecodeDirOpLog(buf []byte) ([]*DirOp, error) {
 	le := binary.LittleEndian
+	if len(buf) < dirLogBlockHeader {
+		return nil, fmt.Errorf("layout: dirlog block too small (%d bytes)", len(buf))
+	}
 	if le.Uint32(buf[0:]) != MagicDirLog {
 		return nil, fmt.Errorf("%w: dirlog block", ErrBadMagic)
 	}

@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"ablation-writebuffer", "write buffer size sweep", RunAblationWriteBuffer},
 		{"ablation-thresholds", "cleaner water marks sweep", RunAblationThresholds},
 		{"ablation-cleanread", "whole-segment vs live-only cleaning reads", RunAblationCleanRead},
+		{"bgclean", "reader latency during cleaning: inline vs background cleaner", RunBgClean},
 	}
 }
 

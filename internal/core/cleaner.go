@@ -195,55 +195,76 @@ func (fs *FS) selectByPolicy(policy CleaningPolicy) []candidate {
 	return kept
 }
 
-// cleanUntil runs cleaning passes until at least target clean segments
-// are available or no further progress is possible. Evacuated segments
-// become reusable only after a checkpoint commits (reusing them earlier
-// could destroy blocks the previous checkpoint still references); the
-// checkpoint is amortized over several passes, since its metadata write
-// is a fixed cost per pass otherwise.
+// cleanUntil runs cleaning steps until at least target clean segments
+// are available or no further progress is possible. This is the inline
+// (foreground) driver; the background cleaner runs the same cleanStep
+// but drops fs.mu between steps.
 func (fs *FS) cleanUntil(target int) error {
 	if fs.inCleaner {
 		return nil
 	}
+	for {
+		progressed, err := fs.cleanStep(target)
+		if err != nil || !progressed {
+			return err
+		}
+	}
+}
+
+// cleanStep performs one bounded unit of cleaning toward target clean
+// segments: one candidate selection + cleaning pass, or one checkpoint
+// releasing already-evacuated segments. It reports whether it made
+// progress; (false, nil) means the target is met or no further space
+// can be reclaimed without being an error. Evacuated segments become
+// reusable only after a checkpoint commits (reusing them earlier could
+// destroy blocks the previous checkpoint still references); the
+// checkpoint is amortized over several passes, since its metadata
+// write is a fixed cost per pass otherwise.
+func (fs *FS) cleanStep(target int) (progressed bool, err error) {
 	// Flush application traffic first so it is not attributed to the
 	// cleaner.
 	if err := fs.flushLog(); err != nil {
-		return err
+		return false, err
+	}
+	if len(fs.freeSegs) >= target {
+		return false, nil
 	}
 	fs.inCleaner = true
 	defer func() { fs.inCleaner = false }()
-	for len(fs.freeSegs) < target {
-		cands := fs.selectCandidates()
-		if len(cands) == 0 {
-			if len(fs.pendingClean) > 0 {
-				// Release the evacuated segments; that may open up
-				// enough output space to keep cleaning.
-				if err := fs.checkpointLocked(); err != nil {
-					return err
-				}
-				continue
-			}
-			if len(fs.freeSegs) == 0 && fs.nextSeg == layout.NilAddr {
-				return ErrNoSpace
-			}
-			return nil
+	if len(fs.pendingClean) > 0 && len(fs.freeSegs)+len(fs.pendingClean) >= target {
+		// Segments evacuated earlier already cover the target: a
+		// releasing checkpoint is the only work needed. (This is what
+		// keeps CleanIdle from cleaning new segments past its budget
+		// when pending-clean work is banked.)
+		return true, fs.checkpointLocked()
+	}
+	cands := fs.selectCandidates()
+	if len(cands) == 0 {
+		if len(fs.pendingClean) > 0 {
+			// Release the evacuated segments; that may open up
+			// enough output space to keep cleaning.
+			return true, fs.checkpointLocked()
 		}
-		if err := fs.cleanPass(cands); err != nil {
-			return err
+		if len(fs.freeSegs) == 0 && fs.nextSeg == layout.NilAddr {
+			return false, ErrNoSpace
 		}
-		enough := len(fs.freeSegs)+len(fs.pendingClean) >= target
-		// Release early enough that the checkpoint's own metadata write
-		// (which can be large: every inode-map block the pass dirtied)
-		// still fits in the remaining space.
-		cpSegs := int(fs.checkpointBytes()/fs.segBytes) + 1
-		lowSpace := len(fs.freeSegs) < reserveSegments+1+cpSegs
-		if (enough || lowSpace) && len(fs.pendingClean) > 0 {
-			if err := fs.checkpointLocked(); err != nil {
-				return err
-			}
+		return false, nil
+	}
+	if err := fs.cleanPass(cands); err != nil {
+		return false, err
+	}
+	enough := len(fs.freeSegs)+len(fs.pendingClean) >= target
+	// Release early enough that the checkpoint's own metadata write
+	// (which can be large: every inode-map block the pass dirtied)
+	// still fits in the remaining space.
+	cpSegs := int(fs.checkpointBytes()/fs.segBytes) + 1
+	lowSpace := len(fs.freeSegs) < reserveSegments+1+cpSegs
+	if (enough || lowSpace) && len(fs.pendingClean) > 0 {
+		if err := fs.checkpointLocked(); err != nil {
+			return false, err
 		}
 	}
-	return nil
+	return true, nil
 }
 
 // checkpointBytes estimates the log volume the next checkpoint will

@@ -61,13 +61,13 @@ func (fs *FS) readAt(mi *mInode, off int64, buf []byte) (int, error) {
 			buf, off, total = buf[n:], off+int64(n), total+n
 			continue
 		}
-		// Serve the block straight from the read cache when present.
-		if fs.rcache != nil {
-			if blk, ok := fs.rcache[addr]; ok {
-				n := copy(buf, blk[inBlock:])
-				buf, off, total = buf[n:], off+int64(n), total+n
-				continue
-			}
+		// Serve the block straight from the read cache when present
+		// (cached slices are immutable, so copying outside rcacheMu is
+		// safe).
+		if blk, ok := fs.cachedBlock(addr); ok {
+			n := copy(buf, blk[inBlock:])
+			buf, off, total = buf[n:], off+int64(n), total+n
+			continue
 		}
 		// Coalesce a run of blocks that are contiguous on disk into one
 		// device request. Files written sequentially are packed
@@ -87,10 +87,8 @@ func (fs *FS) readAt(mi *mInode, off int64, buf []byte) (int, error) {
 			if err != nil || a2 != addr+int64(run) {
 				break
 			}
-			if fs.rcache != nil {
-				if _, ok := fs.rcache[addr+int64(run)]; ok {
-					break
-				}
+			if _, ok := fs.cachedBlock(addr + int64(run)); ok {
+				break
 			}
 			run++
 		}

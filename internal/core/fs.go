@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/disk"
@@ -34,8 +35,17 @@ type blockKey struct {
 
 // FS is a mounted log-structured file system. All methods are safe for
 // concurrent use by multiple goroutines.
+//
+// Locking discipline: mu is a reader/writer lock. Mutating operations
+// take mu.Lock and may touch anything. Read-only operations (ReadAt,
+// ReadFile, Stat, ReadDir) take mu.RLock and run concurrently with each
+// other; the few structures they mutate on the side — the read cache,
+// the inode cache, the directory cache, and the inode map's atime/dirty
+// state — are guarded by the small leaf mutexes below, which order
+// reader against reader (reader against writer is already ordered by
+// mu itself). See DESIGN.md for the full discipline.
 type FS struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	dev  *disk.Disk
 	opts Options
 	sb   *layout.Superblock
@@ -45,18 +55,34 @@ type FS struct {
 	nsegs     int64
 	segBase   int64
 
-	imap  *inodeMap
-	usage *usageTable
+	// imapMu guards inode-map access from paths that run under
+	// mu.RLock (loadInode's entry read, Stat, and the atime updates
+	// read operations make). Writer-only imap access is ordered by mu.
+	imapMu sync.Mutex
+	imap   *inodeMap
+	usage  *usageTable
 
 	// File cache: dirty data blocks awaiting the next log write.
 	dcache map[blockKey][]byte
-	// Read cache for clean blocks (bounded FIFO; optional).
-	rcache     map[int64][]byte
-	rcacheFifo []int64
+	// Read cache for clean blocks (bounded FIFO; optional). rcacheMu
+	// guards all four fields: the ring holds the eviction order, and an
+	// invalidated address leaves a tombstone count so its stale ring
+	// entry is skipped (not acted on) when it reaches the front.
+	rcacheMu    sync.Mutex
+	rcache      map[int64][]byte
+	rcacheRing  addrRing
+	rcacheDead  map[int64]int
+	rcacheDeadN int
 
+	// icacheMu guards icache lookups/inserts from paths that run under
+	// mu.RLock; writer-only mutation (create, remove, recovery) is
+	// ordered by mu.
+	icacheMu    sync.Mutex
 	icache      map[uint32]*mInode
 	dirtyInodes map[uint32]bool
-	dirCache    map[uint32][]layout.DirEntry
+	// dirCacheMu guards dirCache loads from paths under mu.RLock.
+	dirCacheMu sync.Mutex
+	dirCache   map[uint32][]layout.DirEntry
 	// dirBytes remembers each directory's last written byte image so
 	// saveDir can write only the changed blocks.
 	dirBytes map[uint32][]byte
@@ -84,7 +110,9 @@ type FS struct {
 	nextInum  uint32
 	freeInums []uint32
 
-	ticks        uint64
+	// ticks is atomic because read-only operations advance it while
+	// holding only mu.RLock.
+	ticks        atomic.Uint64
 	bytesSinceCp int64
 	dirtyBlocks  int
 	inCleaner    bool
@@ -94,6 +122,31 @@ type FS struct {
 	// recomputeSegs marks segments whose usage will be recomputed from
 	// scratch during recovery; decrements against them are suppressed.
 	recomputeSegs map[int64]bool
+
+	// Background cleaner state (Options.BackgroundClean). The goroutine
+	// is kicked through cleanerKick when the clean-segment pool falls
+	// below the low-water mark, runs bounded cleaning steps under
+	// mu.Lock (dropping the lock between steps so readers and writers
+	// interleave), and is joined by Unmount through cleanerStop/Done.
+	// cleanerBusy is true from the moment a kick is enqueued until the
+	// run it triggered completes; cleanerErr is sticky and disables
+	// further cleaning. cleanerOwner marks the cleaner goroutine's own
+	// foreground work (its preliminary flush) as privileged so it never
+	// blocks waiting on itself. All but the channels are guarded by mu.
+	cleanerKick  chan struct{}
+	cleanerStop  chan struct{}
+	cleanerDone  chan struct{}
+	cleanerOnce  sync.Once
+	cleanerBusy  bool
+	cleanerOwner bool
+	cleanerErr   error
+	// spaceCond wakes writers stalled in waitForCleanSegments; it is
+	// signalled after every background cleaning step and on unmount.
+	spaceCond *sync.Cond
+
+	// readersNow tracks in-flight read-only operations for the
+	// fs.readers.* gauges.
+	readersNow atomic.Int64
 
 	stats   Stats
 	tr      *obs.Tracer
@@ -166,6 +219,7 @@ func Format(dev *disk.Disk, opts Options) (*FS, error) {
 	if err := fs.checkpointLocked(); err != nil {
 		return nil, err
 	}
+	fs.startCleaner()
 	return fs, nil
 }
 
@@ -191,8 +245,10 @@ func newFS(dev *disk.Disk, opts Options, sb *layout.Superblock) *FS {
 		pendingCleanSet: make(map[int64]bool),
 		nextSeg:         layout.NilAddr,
 	}
+	fs.spaceCond = sync.NewCond(&fs.mu)
 	if opts.ReadCacheBlocks > 0 {
 		fs.rcache = make(map[int64][]byte)
+		fs.rcacheDead = make(map[int64]int)
 	}
 	if opts.Tracer != nil {
 		fs.tr = opts.Tracer
@@ -219,8 +275,8 @@ func (fs *FS) SegmentBytes() int64 { return fs.segBytes }
 
 // Stats returns a snapshot of the accumulated file system statistics.
 func (fs *FS) Stats() Stats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.stats
 }
 
@@ -242,16 +298,16 @@ func (fs *FS) Metrics() obs.Snapshot { return fs.tr.Metrics() }
 // CleanSegments returns how many segments are immediately available for
 // new log writes.
 func (fs *FS) CleanSegments() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return len(fs.freeSegs)
 }
 
 // SegmentUtilizations returns the live-byte fraction of every segment, in
 // segment order. It is the data behind Figures 5, 6 and 10.
 func (fs *FS) SegmentUtilizations() []float64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	out := make([]float64, fs.nsegs)
 	for s := int64(0); s < fs.nsegs; s++ {
 		out[s] = fs.usage.utilization(s)
@@ -262,8 +318,8 @@ func (fs *FS) SegmentUtilizations() []float64 {
 // DiskCapacityUtilization returns the fraction of the segment area
 // occupied by live data.
 func (fs *FS) DiskCapacityUtilization() float64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var live int64
 	for s := int64(0); s < fs.nsegs; s++ {
 		live += int64(fs.usage.get(s).LiveBytes)
@@ -276,13 +332,14 @@ func (fs *FS) now() uint64 {
 	if fs.opts.Clock != nil {
 		return fs.opts.Clock()
 	}
-	return fs.ticks
+	return fs.ticks.Load()
 }
 
 // tick advances the internal logical clock; called once per public
-// mutating operation.
+// operation (including reads, which hold only mu.RLock — hence the
+// atomic).
 func (fs *FS) tick() {
-	fs.ticks++
+	fs.ticks.Add(1)
 }
 
 func (fs *FS) segOf(addr int64) int64   { return (addr - fs.segBase) / fs.segBlocks }
@@ -334,12 +391,10 @@ func (fs *FS) readMetaBlock(addr int64) ([]byte, error) {
 // copied out, and the cache keeps its own copy on fills, so callers may
 // mutate the result without corrupting cached data.
 func (fs *FS) readDiskBlock(addr int64) ([]byte, error) {
-	if fs.rcache != nil {
-		if b, ok := fs.rcache[addr]; ok {
-			out := make([]byte, len(b))
-			copy(out, b)
-			return out, nil
-		}
+	if b, ok := fs.cachedBlock(addr); ok {
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, nil
 	}
 	buf, err := fs.dev.ReadBlock(addr)
 	if err != nil {
@@ -349,32 +404,97 @@ func (fs *FS) readDiskBlock(addr int64) ([]byte, error) {
 	return buf, nil
 }
 
+// cachedBlock returns the cached contents of addr. The returned slice
+// is the cache's own copy — cached slices are immutable once stored, so
+// callers may read it after rcacheMu is released but must not write it.
+func (fs *FS) cachedBlock(addr int64) ([]byte, bool) {
+	if fs.rcache == nil {
+		return nil, false
+	}
+	fs.rcacheMu.Lock()
+	b, ok := fs.rcache[addr]
+	fs.rcacheMu.Unlock()
+	return b, ok
+}
+
 // cacheBlock stores a private copy of buf in the read cache, so later
-// mutation of buf by the caller cannot alias cached data.
+// mutation of buf by the caller cannot alias cached data. Eviction is
+// FIFO over a ring buffer; ring entries whose address was invalidated
+// carry a tombstone count and are discarded, not evicted, when they
+// reach the front — so an invalidate + re-cache of the same address
+// never evicts the live block early.
 func (fs *FS) cacheBlock(addr int64, buf []byte) {
 	if fs.rcache == nil {
 		return
 	}
 	cp := make([]byte, len(buf))
 	copy(cp, buf)
+	fs.rcacheMu.Lock()
+	defer fs.rcacheMu.Unlock()
 	if _, ok := fs.rcache[addr]; ok {
 		fs.rcache[addr] = cp
 		return
 	}
 	fs.rcache[addr] = cp
-	fs.rcacheFifo = append(fs.rcacheFifo, addr)
-	for len(fs.rcacheFifo) > fs.opts.ReadCacheBlocks {
-		old := fs.rcacheFifo[0]
-		fs.rcacheFifo = fs.rcacheFifo[1:]
+	fs.rcacheRing.push(addr)
+	// The map holds only live blocks, so its size is the live count.
+	for len(fs.rcache) > fs.opts.ReadCacheBlocks {
+		old, ok := fs.rcacheRing.pop()
+		if !ok {
+			break
+		}
+		if n := fs.rcacheDead[old]; n > 0 {
+			// Stale entry for an invalidated address: consume the
+			// tombstone and keep looking.
+			if n == 1 {
+				delete(fs.rcacheDead, old)
+			} else {
+				fs.rcacheDead[old] = n - 1
+			}
+			fs.rcacheDeadN--
+			continue
+		}
 		delete(fs.rcache, old)
 	}
 }
 
 // invalidateCachedBlock drops addr from the read cache (the address is
-// being reused for different content).
+// being reused for different content). The ring entry stays behind with
+// a tombstone; when tombstones dominate the ring it is compacted so
+// repeated invalidate/re-cache cycles cannot grow it without bound.
 func (fs *FS) invalidateCachedBlock(addr int64) {
-	if fs.rcache != nil {
-		delete(fs.rcache, addr)
+	if fs.rcache == nil {
+		return
+	}
+	fs.rcacheMu.Lock()
+	defer fs.rcacheMu.Unlock()
+	if _, ok := fs.rcache[addr]; !ok {
+		return // not cached: no ring entry to tombstone
+	}
+	delete(fs.rcache, addr)
+	fs.rcacheDead[addr]++
+	fs.rcacheDeadN++
+	if fs.rcacheDeadN > fs.opts.ReadCacheBlocks && fs.rcacheDeadN > fs.rcacheRing.len()/2 {
+		fs.compactRcacheRing()
+	}
+}
+
+// compactRcacheRing rebuilds the eviction ring without its tombstoned
+// entries, preserving FIFO order. Caller holds rcacheMu.
+func (fs *FS) compactRcacheRing() {
+	n := fs.rcacheRing.len()
+	for i := 0; i < n; i++ {
+		a, _ := fs.rcacheRing.pop()
+		if c := fs.rcacheDead[a]; c > 0 {
+			if c == 1 {
+				delete(fs.rcacheDead, a)
+			} else {
+				fs.rcacheDead[a] = c - 1
+			}
+			fs.rcacheDeadN--
+			continue
+		}
+		fs.rcacheRing.push(a)
 	}
 }
 
@@ -393,10 +513,15 @@ func (fs *FS) allocInum() (uint32, error) {
 	return inum, nil
 }
 
-// Unmount checkpoints the file system and marks it unusable.
+// Unmount checkpoints the file system and marks it unusable. The
+// background cleaner, if one is running, is stopped and joined first.
 func (fs *FS) Unmount() error {
+	fs.stopCleaner()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	// Writers stalled behind the (now stopped) cleaner must re-check
+	// state whatever happens below.
+	defer fs.spaceCond.Broadcast()
 	if !fs.mounted {
 		return ErrUnmounted
 	}
@@ -457,7 +582,15 @@ func (fs *FS) CleanIdle(budget int) error {
 	if budget <= 0 {
 		return nil
 	}
+	// Segments cleaned earlier but still awaiting their checkpoint are
+	// banked cleaning work: they count toward the budget. cleanStep
+	// releases them with a checkpoint alone when they already cover the
+	// target, so idle cleaning right before a checkpoint does not clean
+	// new segments past the requested budget.
 	target := len(fs.freeSegs) + budget
+	if p := len(fs.pendingClean); p > budget {
+		target = len(fs.freeSegs) + p
+	}
 	if max := int(fs.nsegs) - 1; target > max {
 		target = max
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/layout"
 )
@@ -19,7 +20,13 @@ const (
 
 // mInode is the in-memory representation of an inode: the on-disk fields
 // plus lazily loaded indirect-block contents and dirtiness tracking.
+//
+// mu orders the lazy indirect-block loads, which can be triggered by
+// concurrent readers holding only FS.mu.RLock. The ino fields and the
+// dirtiness flags are mutated only under FS.mu.Lock and need no extra
+// guard; readers treat them as read-only.
 type mInode struct {
+	mu  sync.Mutex
 	ino *layout.Inode
 
 	ind       []int64 // single-indirect contents
@@ -47,12 +54,19 @@ func nilPointerBlock() []int64 {
 }
 
 // loadInode returns the cached in-memory inode for inum, reading it from
-// the log if necessary.
+// the log if necessary. It may run under mu.RLock: the cache insert is
+// a double-check, so concurrent readers that miss together converge on
+// a single mInode.
 func (fs *FS) loadInode(inum uint32) (*mInode, error) {
-	if mi, ok := fs.icache[inum]; ok {
+	fs.icacheMu.Lock()
+	mi, ok := fs.icache[inum]
+	fs.icacheMu.Unlock()
+	if ok {
 		return mi, nil
 	}
+	fs.imapMu.Lock()
 	e := fs.imap.get(inum)
+	fs.imapMu.Unlock()
 	if !e.Allocated() {
 		return nil, fmt.Errorf("%w: inum %d", ErrNotFound, inum)
 	}
@@ -67,13 +81,26 @@ func (fs *FS) loadInode(inum uint32) (*mInode, error) {
 	if int(e.Slot) >= len(inodes) || inodes[e.Slot].Inum != inum {
 		return nil, fmt.Errorf("%w: imap slot %d of block %d does not hold inum %d", ErrCorrupt, e.Slot, e.Addr, inum)
 	}
-	mi := newMInode(inodes[e.Slot])
-	fs.icache[inum] = mi
+	mi = newMInode(inodes[e.Slot])
+	fs.icacheMu.Lock()
+	if cached, ok := fs.icache[inum]; ok {
+		mi = cached
+	} else {
+		fs.icache[inum] = mi
+	}
+	fs.icacheMu.Unlock()
 	return mi, nil
 }
 
 // loadIndirect ensures mi.ind is populated.
 func (fs *FS) loadIndirect(mi *mInode) error {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	return fs.loadIndirectLocked(mi)
+}
+
+// loadIndirectLocked is loadIndirect with mi.mu already held.
+func (fs *FS) loadIndirectLocked(mi *mInode) error {
 	if mi.indLoaded {
 		return nil
 	}
@@ -92,6 +119,13 @@ func (fs *FS) loadIndirect(mi *mInode) error {
 
 // loadDTop ensures mi.dindTop is populated.
 func (fs *FS) loadDTop(mi *mInode) error {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	return fs.loadDTopLocked(mi)
+}
+
+// loadDTopLocked is loadDTop with mi.mu already held.
+func (fs *FS) loadDTopLocked(mi *mInode) error {
 	if mi.dindTopLoaded {
 		return nil
 	}
@@ -110,10 +144,17 @@ func (fs *FS) loadDTop(mi *mInode) error {
 
 // loadL2 ensures the i-th level-2 double-indirect block is populated.
 func (fs *FS) loadL2(mi *mInode, i int) ([]int64, error) {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	return fs.loadL2Locked(mi, i)
+}
+
+// loadL2Locked is loadL2 with mi.mu already held.
+func (fs *FS) loadL2Locked(mi *mInode, i int) ([]int64, error) {
 	if l2, ok := mi.dindL2[i]; ok {
 		return l2, nil
 	}
-	if err := fs.loadDTop(mi); err != nil {
+	if err := fs.loadDTopLocked(mi); err != nil {
 		return nil, err
 	}
 	var l2 []int64
@@ -131,16 +172,21 @@ func (fs *FS) loadL2(mi *mInode, i int) ([]int64, error) {
 }
 
 // blockAddr returns the disk address of file block bn, or NilAddr for a
-// hole.
+// hole. It may run under mu.RLock; the indirect cases take mi.mu
+// because they can lazily load (and therefore mutate) the in-memory
+// indirect structures.
 func (fs *FS) blockAddr(mi *mInode, bn uint32) (int64, error) {
-	switch {
-	case bn < firstIndirect:
+	if bn < firstIndirect {
 		return mi.ino.Direct[bn], nil
+	}
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	switch {
 	case bn < firstDIndirect:
 		if mi.ino.Indirect == layout.NilAddr && !mi.indLoaded {
 			return layout.NilAddr, nil
 		}
-		if err := fs.loadIndirect(mi); err != nil {
+		if err := fs.loadIndirectLocked(mi); err != nil {
 			return 0, err
 		}
 		return mi.ind[bn-firstIndirect], nil
@@ -150,7 +196,7 @@ func (fs *FS) blockAddr(mi *mInode, bn uint32) (int64, error) {
 		}
 		rel := int(bn - firstDIndirect)
 		i := rel / layout.PointersPerBlock
-		if err := fs.loadDTop(mi); err != nil {
+		if err := fs.loadDTopLocked(mi); err != nil {
 			return 0, err
 		}
 		if mi.dindTop[i] == layout.NilAddr {
@@ -158,7 +204,7 @@ func (fs *FS) blockAddr(mi *mInode, bn uint32) (int64, error) {
 				return layout.NilAddr, nil
 			}
 		}
-		l2, err := fs.loadL2(mi, i)
+		l2, err := fs.loadL2Locked(mi, i)
 		if err != nil {
 			return 0, err
 		}

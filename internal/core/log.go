@@ -35,7 +35,12 @@ func (fs *FS) stage(b stagedBlock) {
 const reserveSegments = 4
 
 // advanceSegment retires the current head segment and moves the log to
-// the pre-selected next segment.
+// the pre-selected next segment. Unprivileged writers may not dip into
+// the cleaner reserve. This must never block or drop fs.mu: it runs in
+// the middle of log placement, when block pointers are torn — with a
+// background cleaner, writer backpressure happens in the epilogue
+// (waitForCleanSegments), at an operation boundary where the file
+// system is consistent; here the reserve is only a hard backstop.
 func (fs *FS) advanceSegment() error {
 	if fs.nextSeg == layout.NilAddr {
 		// The pool was empty when the previous advance pre-selected;
@@ -45,7 +50,7 @@ func (fs *FS) advanceSegment() error {
 	if fs.nextSeg == layout.NilAddr {
 		return fmt.Errorf("%w: no next segment", ErrNoSpace)
 	}
-	privileged := fs.inCleaner || fs.inRecovery || fs.cpActive
+	privileged := fs.inCleaner || fs.inRecovery || fs.cpActive || fs.cleanerOwner
 	if !privileged && len(fs.freeSegs) < reserveSegments {
 		return fmt.Errorf("%w: %d clean segments left (cleaner reserve)", ErrNoSpace, len(fs.freeSegs))
 	}

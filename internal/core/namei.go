@@ -38,9 +38,14 @@ func splitPath(p string) ([]string, error) {
 	return out, nil
 }
 
-// loadDir returns the (cached) entries of directory inum.
+// loadDir returns the (cached) entries of directory inum. It may run
+// under mu.RLock: concurrent readers that miss together each decode
+// the directory, then the first one's result is adopted by the rest.
 func (fs *FS) loadDir(inum uint32) ([]layout.DirEntry, error) {
-	if entries, ok := fs.dirCache[inum]; ok {
+	fs.dirCacheMu.Lock()
+	entries, ok := fs.dirCache[inum]
+	fs.dirCacheMu.Unlock()
+	if ok {
 		return entries, nil
 	}
 	mi, err := fs.loadInode(inum)
@@ -54,11 +59,17 @@ func (fs *FS) loadDir(inum uint32) ([]layout.DirEntry, error) {
 	if _, err := fs.readAt(mi, 0, data); err != nil {
 		return nil, err
 	}
-	entries, err := layout.DecodeDirectory(data)
+	entries, err = layout.DecodeDirectory(data)
 	if err != nil {
 		return nil, fmt.Errorf("directory %d: %w", inum, err)
 	}
-	fs.dirCache[inum] = entries
+	fs.dirCacheMu.Lock()
+	if cached, ok := fs.dirCache[inum]; ok {
+		entries = cached
+	} else {
+		fs.dirCache[inum] = entries
+	}
+	fs.dirCacheMu.Unlock()
 	return entries, nil
 }
 
@@ -66,7 +77,9 @@ func (fs *FS) loadDir(inum uint32) ([]layout.DirEntry, error) {
 // changed suffix is written: appending an entry to a large directory
 // dirties one block, not the whole directory.
 func (fs *FS) saveDir(inum uint32, entries []layout.DirEntry) error {
+	fs.dirCacheMu.Lock()
 	fs.dirCache[inum] = entries
+	fs.dirCacheMu.Unlock()
 	data, err := layout.EncodeDirectory(entries)
 	if err != nil {
 		return err
@@ -322,13 +335,15 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 }
 
 // ReadAt reads from the file at path into buf starting at off; it returns
-// the number of bytes read (0 at or past end of file).
+// the number of bytes read (0 at or past end of file). Read-only: runs
+// under mu.RLock, concurrently with other readers.
 func (fs *FS) ReadAt(path string, off int64, buf []byte) (int, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if !fs.mounted {
 		return 0, ErrUnmounted
 	}
+	defer fs.readerEnter()()
 	defer fs.traceOp("read")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
@@ -339,17 +354,19 @@ func (fs *FS) ReadAt(path string, off int64, buf []byte) (int, error) {
 	if err != nil {
 		return n, err
 	}
-	fs.imap.setAtime(mi.ino.Inum, fs.now())
+	fs.setAtime(mi.ino.Inum)
 	return n, nil
 }
 
-// ReadFile returns the whole contents of the file at path.
+// ReadFile returns the whole contents of the file at path. Read-only:
+// runs under mu.RLock, concurrently with other readers.
 func (fs *FS) ReadFile(path string) ([]byte, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if !fs.mounted {
 		return nil, ErrUnmounted
 	}
+	defer fs.readerEnter()()
 	defer fs.traceOp("read")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
@@ -360,8 +377,17 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 	if _, err := fs.readAt(mi, 0, buf); err != nil {
 		return nil, err
 	}
-	fs.imap.setAtime(mi.ino.Inum, fs.now())
+	fs.setAtime(mi.ino.Inum)
 	return buf, nil
+}
+
+// setAtime records an access time in the inode map. Reads hold only
+// mu.RLock, so the map mutation is guarded by imapMu.
+func (fs *FS) setAtime(inum uint32) {
+	now := fs.now()
+	fs.imapMu.Lock()
+	fs.imap.setAtime(inum, now)
+	fs.imapMu.Unlock()
 }
 
 // resolveFile resolves path to a regular file's in-memory inode.
@@ -402,13 +428,15 @@ func (fs *FS) Truncate(path string, size int64) error {
 	return fs.epilogue()
 }
 
-// Stat describes the file or directory at path.
+// Stat describes the file or directory at path. Read-only: runs under
+// mu.RLock, concurrently with other readers.
 func (fs *FS) Stat(path string) (FileInfo, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if !fs.mounted {
 		return FileInfo{}, ErrUnmounted
 	}
+	defer fs.readerEnter()()
 	inum, err := fs.resolve(path)
 	if err != nil {
 		return FileInfo{}, err
@@ -417,7 +445,9 @@ func (fs *FS) Stat(path string) (FileInfo, error) {
 	if err != nil {
 		return FileInfo{}, err
 	}
+	fs.imapMu.Lock()
 	e := fs.imap.get(inum)
+	fs.imapMu.Unlock()
 	return FileInfo{
 		Inum:    inum,
 		Version: e.Version,
@@ -429,13 +459,15 @@ func (fs *FS) Stat(path string) (FileInfo, error) {
 	}, nil
 }
 
-// ReadDir lists the entries of the directory at path.
+// ReadDir lists the entries of the directory at path. Read-only: runs
+// under mu.RLock, concurrently with other readers.
 func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if !fs.mounted {
 		return nil, ErrUnmounted
 	}
+	defer fs.readerEnter()()
 	inum, err := fs.resolve(path)
 	if err != nil {
 		return nil, err
@@ -645,9 +677,28 @@ func (fs *FS) renameLocked(oldPath, newPath string) error {
 
 // epilogue runs at the end of mutating operations: it starts the cleaner
 // when the clean-segment pool drops below the low-water mark
-// (Section 3.4).
+// (Section 3.4). With a background cleaner the goroutine is kicked and
+// the operation returns immediately; inline cleaning runs to the
+// high-water mark under the caller's lock.
 func (fs *FS) epilogue() error {
-	if fs.inCleaner || fs.inRecovery || fs.cpActive {
+	if fs.inCleaner || fs.inRecovery || fs.cpActive || fs.cleanerOwner {
+		return nil
+	}
+	if fs.backgroundCleaning() {
+		if fs.cleanerErr != nil {
+			return fs.cleanerErr
+		}
+		if len(fs.freeSegs) < fs.opts.CleanLowWater {
+			fs.kickCleaner()
+		}
+		if len(fs.freeSegs) < fs.bgStallThreshold() {
+			// Backpressure: the pool is nearly exhausted. The epilogue is
+			// an operation boundary — every map and pointer is consistent
+			// — so this is the one place a writer may release fs.mu and
+			// wait for the cleaner without exposing torn state to
+			// readers.
+			return fs.waitForCleanSegments()
+		}
 		return nil
 	}
 	if len(fs.freeSegs) < fs.opts.CleanLowWater {

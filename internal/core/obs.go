@@ -6,6 +6,18 @@ import (
 
 var noopTimer = func() {}
 
+// readerEnter tracks one in-flight read-only operation for the reader
+// concurrency gauges. Use as: defer fs.readerEnter()().
+func (fs *FS) readerEnter() func() {
+	n := fs.readersNow.Add(1)
+	fs.tr.Add(obs.CtrReadersActive, 1)
+	fs.tr.SetMax(obs.CtrReadersPeak, n)
+	return func() {
+		fs.readersNow.Add(-1)
+		fs.tr.Add(obs.CtrReadersActive, -1)
+	}
+}
+
 // traceOp times one public operation in simulated disk time and records
 // it in the op.<name> latency histogram (plus an fs.op event when a
 // sink is attached). Use as: defer fs.traceOp("create")().

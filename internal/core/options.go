@@ -90,6 +90,12 @@ type Options struct {
 	// log. Pass the same NVRAM to Mount after a crash to replay it.
 	// NVRAM assumes roll-forward mounts.
 	NVRAM *NVRAM
+	// BackgroundClean moves cleaning into a goroutine owned by the FS:
+	// mutating operations kick it when clean segments fall below
+	// CleanLowWater and block only when the pool is exhausted, instead of
+	// cleaning inline. Off by default: inline cleaning keeps runs fully
+	// deterministic, which the crash-point tests rely on.
+	BackgroundClean bool
 	// Tracer attaches the observability layer: per-request disk events,
 	// log-write / checkpoint / cleaner-decision events, and metrics
 	// keyed to simulated disk time. nil (the default) disables tracing

@@ -43,7 +43,7 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 	fs.nextSeg = cp.NextSeg
 	fs.writeSeq = cp.WriteSeq
 	fs.dirLogSeq = cp.DirLogSeq
-	fs.ticks = cp.Timestamp
+	fs.ticks.Store(cp.Timestamp)
 
 	// Load the inode map and segment usage table from the addresses in
 	// the checkpoint region.
@@ -165,6 +165,7 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 	if err := fs.replayNVRAM(); err != nil {
 		return nil, err
 	}
+	fs.startCleaner()
 	return fs, nil
 }
 
@@ -309,8 +310,8 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 		}
 
 		fs.usage.noteWrite(seg, s.Timestamp)
-		if s.Timestamp > fs.ticks {
-			fs.ticks = s.Timestamp
+		if s.Timestamp > fs.ticks.Load() {
+			fs.ticks.Store(s.Timestamp)
 		}
 		next = s.NextSeg
 		expected++

@@ -1,0 +1,48 @@
+package core
+
+// addrRing is a FIFO queue of disk addresses backed by a circular
+// buffer, used for read-cache eviction order. Unlike a slice popped
+// with fifo = fifo[1:], it reuses its backing array: n pushes and pops
+// touch O(n) memory total instead of retaining every address ever
+// queued until the next append reallocates.
+type addrRing struct {
+	buf  []int64
+	head int
+	n    int
+}
+
+// len returns the number of queued addresses.
+func (r *addrRing) len() int { return r.n }
+
+// push appends addr at the tail, growing the buffer when full.
+func (r *addrRing) push(addr int64) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = addr
+	r.n++
+}
+
+// pop removes and returns the address at the head.
+func (r *addrRing) pop() (int64, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	a := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return a, true
+}
+
+func (r *addrRing) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap < 8 {
+		newCap = 8
+	}
+	buf := make([]int64, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

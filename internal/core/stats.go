@@ -44,6 +44,16 @@ type Stats struct {
 
 	// RollForwardWrites counts log writes issued during recovery.
 	RollForwardWrites int64
+
+	// CleanerKicks counts wakeups sent to the background cleaner (only
+	// meaningful with Options.BackgroundClean).
+	CleanerKicks int64
+	// WriterStalls counts mutating operations that blocked waiting for
+	// the background cleaner to free segments.
+	WriterStalls int64
+	// WriterStallNanos accumulates host wall-clock time (not simulated
+	// disk time) spent in those stalls.
+	WriterStallNanos int64
 }
 
 // WriteCost returns the paper's write-cost metric: total bytes moved to

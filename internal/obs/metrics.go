@@ -69,6 +69,16 @@ func (m *Metrics) Add(name string, delta int64) {
 	m.mu.Unlock()
 }
 
+// SetMax raises the named counter to v if v is larger (a high-water-mark
+// gauge, e.g. peak concurrent readers).
+func (m *Metrics) SetMax(name string, v int64) {
+	m.mu.Lock()
+	if v > m.counters[name] {
+		m.counters[name] = v
+	}
+	m.mu.Unlock()
+}
+
 // Observe records one latency sample in the named histogram.
 func (m *Metrics) Observe(name string, d time.Duration) {
 	m.mu.Lock()

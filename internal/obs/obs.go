@@ -65,6 +65,39 @@ const (
 	CtrRollForwardWrites = "recovery.rollforward.writes"
 )
 
+// Concurrency counters, recorded when the file system runs with the
+// reader/writer lock discipline and (optionally) the background cleaner.
+const (
+	// CtrReadersActive is incremented when a read-only operation enters
+	// and decremented when it leaves: its instantaneous value is the
+	// number of in-flight concurrent readers.
+	CtrReadersActive = "fs.readers.active"
+	// CtrReadersPeak is the high-water mark of concurrent readers.
+	CtrReadersPeak = "fs.readers.peak"
+	// CtrWriterStalls counts writers that blocked waiting for the
+	// background cleaner to reclaim segments.
+	CtrWriterStalls = "fs.writer.stalls"
+	// CtrCleanerKicks counts wakeups of the background cleaner.
+	CtrCleanerKicks = "cleaner.kicks"
+	// CtrCleanerLagSegments sums, over kicks, how far below the low-water
+	// mark the clean-segment pool had fallen when the cleaner was woken
+	// (divide by CtrCleanerKicks for the average lag).
+	CtrCleanerLagSegments = "cleaner.lag.segments"
+	// CtrCleanerLagMax is the worst single lag observed at a kick.
+	CtrCleanerLagMax = "cleaner.lag.max"
+	// CtrCleanerBgPasses counts bounded cleaning steps executed on the
+	// background goroutine (foreground steps are CtrCleanerPasses minus
+	// this).
+	CtrCleanerBgPasses = "cleaner.bg.passes"
+)
+
+// HistWriterStall is the latency histogram of writer stalls behind the
+// background cleaner. Unlike the op.* histograms it is recorded in host
+// wall-clock time, not simulated disk time: a stall is a scheduling
+// phenomenon of the concurrent lock discipline, not of the simulated
+// device.
+const HistWriterStall = "fs.writer.stall"
+
 // OpHistPrefix prefixes the per-operation latency histogram names
 // ("op.create", "op.read", "op.write", "op.delete", ...).
 const OpHistPrefix = "op."

@@ -93,6 +93,15 @@ func (t *Tracer) Add(name string, delta int64) {
 	t.m.Add(name, delta)
 }
 
+// SetMax raises the named counter to v if v is larger (a high-water-mark
+// gauge).
+func (t *Tracer) SetMax(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.m.SetMax(name, v)
+}
+
 // Observe records a simulated-time latency sample.
 func (t *Tracer) Observe(name string, d time.Duration) {
 	if t == nil {

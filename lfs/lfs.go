@@ -11,6 +11,17 @@
 // two-phase checkpoints and roll-forward crash recovery driven by the
 // directory operation log.
 //
+// A mounted FS is safe for concurrent use: read-only operations
+// (ReadFile, ReadAt, Stat, ReadDir) run in parallel with each other
+// under a reader lock, and mutating operations serialize against them.
+// Setting Options.BackgroundClean moves segment cleaning off the
+// writer's critical path into a goroutine owned by the FS: writers low
+// on clean segments kick it and keep going, blocking only when the pool
+// is nearly exhausted, and Unmount stops it. It is off by default
+// because inline cleaning keeps runs fully deterministic, which the
+// crash-point tests and the simulated-time benchmarks rely on; see
+// `lfsbench -run bgclean` for what it buys concurrent readers.
+//
 // Quick start:
 //
 //	d := lfs.NewDisk(76800) // ~300 MB simulated disk

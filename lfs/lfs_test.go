@@ -3,6 +3,7 @@ package lfs_test
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/lfs"
@@ -93,5 +94,67 @@ func TestPublicErrors(t *testing.T) {
 func TestPolicyNames(t *testing.T) {
 	if lfs.PolicyCostBenefit.String() != "cost-benefit" || lfs.PolicyGreedy.String() != "greedy" {
 		t.Fatal("policy re-exports broken")
+	}
+}
+
+// TestPublicBackgroundClean drives Options.BackgroundClean through the
+// facade: concurrent readers against a churning writer, cleaner kicks
+// observed through Stats, reader concurrency through the tracer, and a
+// clean shutdown plus remount at the end.
+func TestPublicBackgroundClean(t *testing.T) {
+	tr := lfs.NewTracer(nil)
+	opts := lfs.Options{
+		SegmentBlocks:   32,
+		MaxInodes:       2048,
+		CleanLowWater:   8,
+		CleanHighWater:  16,
+		CleanBatch:      4,
+		BackgroundClean: true,
+	}.WithTracer(tr)
+	d := lfs.NewDisk(2048)
+	fs, err := lfs.Format(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("bg"), 8192)
+	done := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := fs.ReadFile("/churn00"); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 32; i++ {
+			if err := fs.WriteFile(fmt.Sprintf("/churn%02d", i), payload); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+	close(done)
+	if err := <-done; err != nil {
+		t.Fatalf("concurrent reader: %v", err)
+	}
+	if fs.Stats().CleanerKicks == 0 {
+		t.Error("churn never kicked the background cleaner")
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := lfs.Mount(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Unmount()
+	got, err := fs2.ReadFile("/churn31")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("after remount: err=%v, match=%v", err, bytes.Equal(got, payload))
 	}
 }

@@ -5,16 +5,23 @@
 //	lfsh disk.img
 //	lfsh -new -size 64 disk.img
 //	lfsh fsck [-deep] disk.img
+//	lfsh scrub disk.img
 //
 // Commands: ls [path], cat <path>, put <path> <text>, gen <path> <KB>,
 // rm <path>, mkdir <path>, mv <old> <new>, ln <old> <new>, stat <path>,
-// df, segs, sync, checkpoint, clean, idle <n>, crash, fsck, stats,
+// df, segs, sync, checkpoint, clean, idle <n>, crash, fsck, scrub, stats,
 // trace <file>|off, save, help, quit.
 //
 // The fsck subcommand mounts the image via checkpoint + roll-forward,
 // runs the structural consistency sweep non-interactively, and exits 0
 // when the image is clean, 1 when it has problems or cannot be mounted.
 // It never writes the image back.
+//
+// The scrub subcommand mounts the image the same way and reads back
+// every live block — map blocks, inodes, indirect blocks and file data —
+// verifying each against the checksum recorded in its segment summary,
+// so latent media corruption is found before a read path trips over it.
+// Exit status: 0 clean, 1 corruption found or unmountable.
 package main
 
 import (
@@ -34,6 +41,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "fsck" {
 		os.Exit(runFsck(os.Args[2:], os.Stdout))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scrub" {
+		os.Exit(runScrub(os.Args[2:], os.Stdout))
 	}
 	var (
 		newFS  = flag.Bool("new", false, "format a fresh file system instead of mounting")
@@ -130,6 +140,48 @@ func runFsck(args []string, out io.Writer) int {
 	return 1
 }
 
+// runScrub implements `lfsh scrub <image>`: mount, walk every live
+// block verifying checksums, report each corruption, never write back.
+func runScrub(args []string, out io.Writer) int {
+	fl := flag.NewFlagSet("scrub", flag.ContinueOnError)
+	fl.SetOutput(out)
+	if err := fl.Parse(args); err != nil || fl.NArg() != 1 {
+		fmt.Fprintln(out, "usage: lfsh scrub <image>")
+		return 2
+	}
+	img := fl.Arg(0)
+	d, err := lfs.LoadDisk(img)
+	if err != nil {
+		fmt.Fprintf(out, "scrub: %s: %v\n", img, err)
+		return 1
+	}
+	fs, err := lfs.Mount(d, lfs.Options{})
+	if err != nil {
+		fmt.Fprintf(out, "scrub: %s: mount: %v\n", img, err)
+		return 1
+	}
+	rep, err := fs.Scrub()
+	if err != nil {
+		fmt.Fprintf(out, "scrub: %s: %v\n", img, err)
+		return 1
+	}
+	if fs.Degraded() {
+		fmt.Fprintf(out, "%s: DEGRADED (read-only): %s\n", img, fs.DegradedReason())
+	}
+	for _, e := range rep.Errors {
+		fmt.Fprintf(out, "%s: corrupt: %s\n", img, e)
+	}
+	for _, s := range rep.Quarantined {
+		fmt.Fprintf(out, "%s: quarantined segment %d\n", img, s)
+	}
+	if len(rep.Errors) == 0 && !rep.Degraded {
+		fmt.Fprintf(out, "%s: clean: %d live blocks verified\n", img, rep.Blocks)
+		return 0
+	}
+	fmt.Fprintf(out, "%s: %d live blocks scanned, %d bad\n", img, rep.Blocks, len(rep.Errors))
+	return 1
+}
+
 // traceOut is the JSONL trace file the `trace` command writes to, if any.
 var traceOut struct {
 	f   *os.File
@@ -170,7 +222,7 @@ func runCmd(img string, d *lfs.Disk, fsp **lfs.FS, rng *rand.Rand, args []string
 	case "help":
 		fmt.Println("ls [path] | cat <p> | put <p> <text...> | gen <p> <KB> | rm <p> | mkdir <p>")
 		fmt.Println("mv <a> <b> | ln <a> <b> | stat <p> | df | segs | sync | checkpoint | clean")
-		fmt.Println("idle <n> | crash | fsck | stats | trace <file>|off | save | quit")
+		fmt.Println("idle <n> | crash | fsck | scrub | stats | trace <file>|off | save | quit")
 	case "quit", "exit":
 		fail(closeTrace(fs))
 		fail(fs.Unmount())
@@ -321,6 +373,26 @@ func runCmd(img string, d *lfs.Disk, fsp **lfs.FS, rng *rand.Rand, args []string
 		}
 		for _, p := range rep.Problems {
 			fmt.Println("problem:", p)
+		}
+	case "scrub":
+		rep, err := fs.Scrub()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if fs.Degraded() {
+			fmt.Println("DEGRADED (read-only):", fs.DegradedReason())
+		}
+		for _, e := range rep.Errors {
+			fmt.Println("corrupt:", e)
+		}
+		for _, s := range rep.Quarantined {
+			fmt.Println("quarantined segment", s)
+		}
+		if len(rep.Errors) == 0 {
+			fmt.Printf("clean: %d live blocks verified\n", rep.Blocks)
+		} else {
+			fmt.Printf("%d live blocks scanned, %d bad\n", rep.Blocks, len(rep.Errors))
 		}
 	case "stats":
 		if fs.Tracer() == nil {

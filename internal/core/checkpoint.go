@@ -81,18 +81,28 @@ func (fs *FS) checkpointLocked() error {
 
 	// Phase 2: write the checkpoint region. The region's trailer commits
 	// the checkpoint; a torn write leaves the previous region current.
+	// The quarantine list rides along so bad segments stay withdrawn
+	// across mounts; if more segments are quarantined than the region
+	// can record, the fact cannot be persisted — degrade rather than
+	// silently forget a bad segment.
+	quarantined := fs.QuarantinedSegments()
+	if len(quarantined) > layout.MaxQuarantinedSegs {
+		fs.degrade("quarantine list overflows the checkpoint region")
+		return ErrDegraded
+	}
 	fs.cpSeq++
 	cp := &layout.Checkpoint{
-		Seq:        fs.cpSeq,
-		Timestamp:  fs.now(),
-		NextInum:   fs.nextInum,
-		HeadSeg:    fs.head,
-		HeadOffset: uint32(fs.headOff),
-		NextSeg:    fs.nextSeg,
-		WriteSeq:   fs.writeSeq,
-		DirLogSeq:  fs.dirLogSeq,
-		ImapAddrs:  fs.imap.blockAddr,
-		UsageAddrs: fs.usage.blockAddr,
+		Seq:         fs.cpSeq,
+		Timestamp:   fs.now(),
+		NextInum:    fs.nextInum,
+		HeadSeg:     fs.head,
+		HeadOffset:  uint32(fs.headOff),
+		NextSeg:     fs.nextSeg,
+		WriteSeq:    fs.writeSeq,
+		DirLogSeq:   fs.dirLogSeq,
+		ImapAddrs:   fs.imap.blockAddr,
+		UsageAddrs:  fs.usage.blockAddr,
+		Quarantined: quarantined,
 	}
 	buf, err := cp.Encode(int(fs.sb.CheckpointBlocks))
 	if err != nil {
@@ -104,9 +114,15 @@ func (fs *FS) checkpointLocked() error {
 	fs.cpWhich = 1 - fs.cpWhich
 
 	// The checkpoint is durable: release the cleaned segments for reuse.
-	fs.freeSegs = append(fs.freeSegs, fs.pendingClean...)
+	// Segments quarantined since they were cleaned stay withdrawn, and a
+	// released segment's remembered checksums are dropped — its next
+	// incarnation will record fresh ones.
 	for _, s := range fs.pendingClean {
 		delete(fs.pendingCleanSet, s)
+		fs.pruneSegSums(s)
+		if !fs.isQuarantined(s) {
+			fs.freeSegs = append(fs.freeSegs, s)
+		}
 	}
 	fs.pendingClean = nil
 	if fs.nextSeg == layout.NilAddr {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/disk"
 	"repro/internal/layout"
 	"repro/internal/obs"
 )
@@ -113,7 +115,7 @@ func (fs *FS) selectByPolicy(policy CleaningPolicy) []candidate {
 		if e.Flags&layout.SegFlagDirty == 0 || e.Flags&layout.SegFlagActive != 0 {
 			continue
 		}
-		if s == fs.head || s == fs.nextSeg || fs.pendingCleanSet[s] {
+		if s == fs.head || s == fs.nextSeg || fs.pendingCleanSet[s] || fs.isQuarantined(s) {
 			continue
 		}
 		u := fs.usage.utilization(s)
@@ -200,7 +202,7 @@ func (fs *FS) selectByPolicy(policy CleaningPolicy) []candidate {
 // (foreground) driver; the background cleaner runs the same cleanStep
 // but drops fs.mu between steps.
 func (fs *FS) cleanUntil(target int) error {
-	if fs.inCleaner {
+	if fs.inCleaner || fs.degraded.Load() {
 		return nil
 	}
 	for {
@@ -294,6 +296,14 @@ func (fs *FS) cleanPass(cands []candidate) error {
 				return err
 			}
 		}
+		if fs.isQuarantined(c.seg) {
+			// Evacuation found corruption or an unreadable region: the
+			// segment was quarantined mid-pass and must never be reused,
+			// so it is not queued for release. Whatever live blocks could
+			// not be verified stay in place, still reachable (reads of
+			// them report the corruption).
+			continue
+		}
 		fs.pendingClean = append(fs.pendingClean, c.seg)
 		fs.pendingCleanSet[c.seg] = true
 	}
@@ -350,11 +360,20 @@ func (fs *FS) cleanSegment(seg int64) error {
 }
 
 // collectLiveFull reads the whole segment in a single request and
-// extracts its live blocks.
+// extracts its live blocks. Each partial write's DataChecksum is
+// verified before any of its blocks are copied forward: a corrupt
+// block must never be relocated as if valid. On a checksum mismatch
+// the per-entry sums triage which blocks are actually bad; those are
+// left in place and the segment is quarantined (cleanPass then skips
+// releasing it).
 func (fs *FS) collectLiveFull(seg int64) ([]liveCopy, error) {
 	start := fs.segStart(seg)
 	buf := make([]byte, fs.segBytes)
-	if err := fs.dev.Read(start, buf); err != nil {
+	if err := fs.readRetry(start, buf); err != nil {
+		if errors.Is(err, disk.ErrMediaRead) {
+			fs.quarantineSeg(seg)
+			return nil, nil
+		}
 		return nil, err
 	}
 	fs.stats.CleanerReadBytes += fs.segBytes
@@ -371,9 +390,18 @@ func (fs *FS) collectLiveFull(seg int64) ([]liveCopy, error) {
 		if n == 0 || off+1+n > fs.segBlocks {
 			break
 		}
+		data := buf[(off+1)*layout.BlockSize : (off+1+n)*layout.BlockSize]
+		dataOK := layout.Checksum(data) == s.DataChecksum
+		if !dataOK {
+			fs.quarantineSeg(seg)
+		}
 		for i, e := range s.Entries {
 			addr := start + off + 1 + int64(i)
 			block := buf[(off+1+int64(i))*layout.BlockSize : (off+2+int64(i))*layout.BlockSize]
+			if !dataOK && layout.Checksum(block) != e.Sum {
+				fs.tr.Add(obs.CtrCorruptBlocks, 1)
+				continue
+			}
 			added, err := fs.handleLiveEntry(e, addr, block)
 			if err != nil {
 				return nil, err
@@ -400,8 +428,14 @@ func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
 	var wants []want
 	off := int64(0)
 	for off <= fs.segBlocks-2 {
-		sumBuf, err := fs.dev.ReadBlock(start + off)
+		sumBuf, err := fs.readBlockRetry(start + off)
 		if err != nil {
+			if errors.Is(err, disk.ErrMediaRead) {
+				// Without the summary the rest of the chain cannot be
+				// trusted; withdraw the segment instead of evacuating it.
+				fs.quarantineSeg(seg)
+				break
+			}
 			return nil, err
 		}
 		fs.stats.CleanerReadBytes += layout.BlockSize
@@ -438,7 +472,10 @@ func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
 		off += 1 + n
 	}
 
-	// Read the wanted blocks, coalescing contiguous runs.
+	// Read the wanted blocks, coalescing contiguous runs. Every block
+	// copied forward is verified against its summary entry's checksum
+	// first; an unreadable run or a corrupt block quarantines the
+	// segment and the affected blocks stay in place.
 	var lives []liveCopy
 	for i := 0; i < len(wants); {
 		j := i + 1
@@ -447,13 +484,23 @@ func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
 		}
 		run := wants[i:j]
 		buf := make([]byte, int64(len(run))*layout.BlockSize)
-		if err := fs.dev.Read(run[0].addr, buf); err != nil {
+		if err := fs.readRetry(run[0].addr, buf); err != nil {
+			if errors.Is(err, disk.ErrMediaRead) {
+				fs.quarantineSeg(seg)
+				i = j
+				continue
+			}
 			return nil, err
 		}
 		fs.stats.CleanerReadBytes += int64(len(buf))
 		fs.tr.Add(obs.CtrCleanerReadBytes, int64(len(buf)))
 		for k, w := range run {
 			block := buf[k*layout.BlockSize : (k+1)*layout.BlockSize]
+			if layout.Checksum(block) != w.e.Sum {
+				fs.tr.Add(obs.CtrCorruptBlocks, 1)
+				fs.quarantineSeg(seg)
+				continue
+			}
 			added, err := fs.handleLiveEntry(w.e, w.addr, block)
 			if err != nil {
 				return nil, err
@@ -526,7 +573,12 @@ func (fs *FS) handleLiveEntry(e layout.SummaryEntry, addr int64, block []byte) (
 	case layout.KindInode:
 		inodes, err := layout.DecodeInodeBlock(block)
 		if err != nil {
-			return nil, fmt.Errorf("cleaning block %d: %w", addr, err)
+			// The block's own checksum disagrees with its summary entry:
+			// leave it in place in a quarantined segment rather than
+			// abort the pass or relocate garbage.
+			fs.tr.Add(obs.CtrCorruptBlocks, 1)
+			fs.quarantineSeg(fs.segOf(addr))
+			return nil, nil
 		}
 		for slot, ino := range inodes {
 			me := fs.imap.get(ino.Inum)

@@ -1,6 +1,11 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+)
 
 // Errors returned by file system operations.
 var (
@@ -28,4 +33,35 @@ var (
 	ErrBadPath = errors.New("lfs: bad path")
 	// ErrCorrupt reports an on-disk structure that failed validation.
 	ErrCorrupt = errors.New("lfs: corrupt file system structure")
+	// ErrDegraded reports a mutating operation on a file system that has
+	// dropped into degraded read-only mode after unrecoverable metadata
+	// damage. Reads of unaffected files keep working; writes fail fast.
+	ErrDegraded = errors.New("lfs: degraded read-only mode (unrecoverable metadata fault)")
 )
+
+// ErrMediaRead re-exports the device-level sentinel for callers that only
+// import the core package: errors.Is(err, ErrMediaRead) matches a read
+// that kept failing after the bounded retry budget.
+var ErrMediaRead = disk.ErrMediaRead
+
+// ErrCorrupted reports a block whose contents failed checksum
+// verification against the segment summary (or its own self-checksum).
+// Ino and Offset locate the damage in the file the reader was walking
+// (Ino 0 / Offset < 0 when the block is global metadata); Addr is the
+// failing disk block. It unwraps to ErrCorrupt, so both
+// errors.Is(err, ErrCorrupt) and errors.As(err, *ErrCorrupted) work.
+type ErrCorrupted struct {
+	Ino    uint32
+	Offset int64
+	Addr   int64
+}
+
+func (e *ErrCorrupted) Error() string {
+	if e.Ino == 0 && e.Offset < 0 {
+		return fmt.Sprintf("lfs: corrupted metadata block at addr %d", e.Addr)
+	}
+	return fmt.Sprintf("lfs: corrupted block: ino %d offset %d addr %d", e.Ino, e.Offset, e.Addr)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) match.
+func (e *ErrCorrupted) Unwrap() error { return ErrCorrupt }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/disk"
 	"repro/internal/layout"
 )
 
@@ -20,7 +22,11 @@ func (fs *FS) readFileBlock(mi *mInode, bn uint32) ([]byte, error) {
 	if addr == layout.NilAddr {
 		return make([]byte, layout.BlockSize), nil
 	}
-	return fs.readDiskBlock(addr)
+	b, err := fs.readDiskBlock(addr)
+	if err != nil {
+		return nil, attributeCorruption(err, mi.ino.Inum, int64(bn)*layout.BlockSize)
+	}
+	return b, nil
 }
 
 // readAt reads up to len(buf) bytes from the file at off, returning how
@@ -96,18 +102,41 @@ func (fs *FS) readAt(mi *mInode, off int64, buf []byte) (int, error) {
 		if run == 1 {
 			blk, err := fs.readDiskBlock(addr)
 			if err != nil {
-				return total, err
+				return total, attributeCorruption(err, inum, int64(bn)*layout.BlockSize)
 			}
 			n = copy(buf, blk[inBlock:])
 		} else {
 			big := make([]byte, run*layout.BlockSize)
-			if err := fs.dev.Read(addr, big); err != nil {
-				return total, err
+			err := fs.readRetry(addr, big)
+			if errors.Is(err, disk.ErrMediaRead) {
+				// One bad sector fails the whole coalesced request; fall
+				// back to per-block reads so the healthy blocks still
+				// arrive and only the faulted one surfaces an error.
+				err = nil
+				for i := 0; i < run && err == nil; i++ {
+					var blk []byte
+					if blk, err = fs.readDiskBlock(addr + int64(i)); err == nil {
+						copy(big[i*layout.BlockSize:], blk)
+					} else {
+						err = attributeCorruption(err, inum, int64(bn+uint32(i))*layout.BlockSize)
+					}
+				}
+			} else if err == nil {
+				// Verify every block of the coalesced read before it is
+				// served or cached, exactly like the single-block path.
+				for i := 0; i < run; i++ {
+					s := big[i*layout.BlockSize : (i+1)*layout.BlockSize]
+					if verr := fs.verifyBlock(addr+int64(i), s); verr != nil {
+						err = attributeCorruption(verr, inum, int64(bn+uint32(i))*layout.BlockSize)
+						break
+					}
+					// Populate the read cache from the coalesced read so
+					// a re-read is served from memory.
+					fs.cacheBlock(addr+int64(i), s)
+				}
 			}
-			// Populate the read cache from the coalesced read so a
-			// re-read is served from memory.
-			for i := 0; i < run; i++ {
-				fs.cacheBlock(addr+int64(i), big[i*layout.BlockSize:(i+1)*layout.BlockSize])
+			if err != nil {
+				return total, err
 			}
 			n = copy(buf, big[inBlock:])
 		}

@@ -148,6 +148,22 @@ type FS struct {
 	// fs.readers.* gauges.
 	readersNow atomic.Int64
 
+	// Media-fault state (fault.go). blockSums is the in-memory index of
+	// per-block checksums from segment summaries, for verify-on-read;
+	// sumsLoaded marks segments whose on-disk summary chain has already
+	// been harvested. quarantined segments are never reused or cleaned.
+	// degraded flips (stickily) when metadata is unrecoverable; mutating
+	// operations then fail fast with ErrDegraded. These have their own
+	// leaf locks because read-only operations update them while holding
+	// only mu.RLock.
+	sumsMu         sync.Mutex
+	blockSums      map[int64]uint32
+	sumsLoaded     map[int64]bool
+	quarMu         sync.Mutex
+	quarantined    map[int64]bool
+	degraded       atomic.Bool
+	degradedReason string // guarded by quarMu
+
 	stats   Stats
 	tr      *obs.Tracer
 	mounted bool
@@ -172,7 +188,7 @@ func Format(dev *disk.Disk, opts Options) (*FS, error) {
 	for i := 0; i < 4; i++ {
 		nsegs = (dev.NumBlocks() - segBase) / int64(opts.SegmentBlocks)
 		usageBlocks := (int(nsegs) + layout.SegUsagePerBlock - 1) / layout.SegUsagePerBlock
-		cpBlocks = layout.CheckpointBlocksNeeded(imapBlocks, usageBlocks)
+		cpBlocks = layout.CheckpointBlocksNeeded(imapBlocks, usageBlocks, layout.MaxQuarantinedSegs)
 		segBase = 1 + 2*int64(cpBlocks)
 	}
 	if nsegs < 4 {
@@ -244,6 +260,9 @@ func newFS(dev *disk.Disk, opts Options, sb *layout.Superblock) *FS {
 		inoBlockRefs:    make(map[int64]int),
 		pendingCleanSet: make(map[int64]bool),
 		nextSeg:         layout.NilAddr,
+		blockSums:       make(map[int64]uint32),
+		sumsLoaded:      make(map[int64]bool),
+		quarantined:     make(map[int64]bool),
 	}
 	fs.spaceCond = sync.NewCond(&fs.mu)
 	if opts.ReadCacheBlocks > 0 {
@@ -390,14 +409,20 @@ func (fs *FS) readMetaBlock(addr int64) ([]byte, error) {
 // returned buffer is always private to the caller: cache hits are
 // copied out, and the cache keeps its own copy on fills, so callers may
 // mutate the result without corrupting cached data.
+// Media errors are retried within the bounded budget and every block
+// coming off the disk is checksum-verified before it is cached or used
+// (cache hits were verified when they were filled).
 func (fs *FS) readDiskBlock(addr int64) ([]byte, error) {
 	if b, ok := fs.cachedBlock(addr); ok {
 		out := make([]byte, len(b))
 		copy(out, b)
 		return out, nil
 	}
-	buf, err := fs.dev.ReadBlock(addr)
+	buf, err := fs.readBlockRetry(addr)
 	if err != nil {
+		return nil, err
+	}
+	if err := fs.verifyBlock(addr, buf); err != nil {
 		return nil, err
 	}
 	fs.cacheBlock(addr, buf)
@@ -525,6 +550,13 @@ func (fs *FS) Unmount() error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	// A degraded file system must never write again: skip the unmount
+	// checkpoint (a checkpoint built over broken metadata would launder
+	// the damage) and just detach.
+	if fs.degraded.Load() {
+		fs.mounted = false
+		return nil
+	}
 	if err := fs.checkpointLocked(); err != nil {
 		return err
 	}
@@ -540,6 +572,9 @@ func (fs *FS) Sync() error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
+	}
 	return fs.flushLog()
 }
 
@@ -551,6 +586,9 @@ func (fs *FS) Checkpoint() error {
 	defer fs.mu.Unlock()
 	if !fs.mounted {
 		return ErrUnmounted
+	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
 	}
 	return fs.checkpointLocked()
 }
@@ -565,6 +603,9 @@ func (fs *FS) Clean() error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
+	}
 	return fs.cleanUntil(fs.opts.CleanHighWater)
 }
 
@@ -578,6 +619,9 @@ func (fs *FS) CleanIdle(budget int) error {
 	defer fs.mu.Unlock()
 	if !fs.mounted {
 		return ErrUnmounted
+	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
 	}
 	if budget <= 0 {
 		return nil

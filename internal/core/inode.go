@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Indirect-block roles recorded in summary entries (SummaryEntry.BlockNo
@@ -72,11 +73,15 @@ func (fs *FS) loadInode(inum uint32) (*mInode, error) {
 	}
 	buf, err := fs.readMetaBlock(e.Addr)
 	if err != nil {
-		return nil, err
+		return nil, attributeCorruption(err, inum, -1)
 	}
 	inodes, err := layout.DecodeInodeBlock(buf)
 	if err != nil {
-		return nil, fmt.Errorf("inode block at %d: %w", e.Addr, err)
+		// The block passed (or skipped) summary verification but fails
+		// its own checksum: silent corruption of a packed inode block.
+		fs.tr.Add(obs.CtrCorruptBlocks, 1)
+		fs.quarantineSeg(fs.segOf(e.Addr))
+		return nil, &ErrCorrupted{Ino: inum, Offset: -1, Addr: e.Addr}
 	}
 	if int(e.Slot) >= len(inodes) || inodes[e.Slot].Inum != inum {
 		return nil, fmt.Errorf("%w: imap slot %d of block %d does not hold inum %d", ErrCorrupt, e.Slot, e.Addr, inum)

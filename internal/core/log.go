@@ -64,15 +64,19 @@ func (fs *FS) advanceSegment() error {
 }
 
 // popFreeSeg removes one clean segment from the free list, or returns
-// NilAddr when none remain.
+// NilAddr when none remain. Quarantined segments are discarded on the
+// way out as a backstop — a segment quarantined by the read path after
+// it already sat in the free list must never become the log head.
 func (fs *FS) popFreeSeg() int64 {
-	n := len(fs.freeSegs)
-	if n == 0 {
-		return layout.NilAddr
+	for len(fs.freeSegs) > 0 {
+		s := fs.freeSegs[0]
+		fs.freeSegs = fs.freeSegs[1:]
+		if fs.isQuarantined(s) {
+			continue
+		}
+		return s
 	}
-	s := fs.freeSegs[0]
-	fs.freeSegs = fs.freeSegs[1:]
-	return s
+	return layout.NilAddr
 }
 
 // flushPending writes every staged block to the log in one or more
@@ -136,6 +140,7 @@ func (fs *FS) flushPending() error {
 				return fmt.Errorf("%w: staged block has %d bytes", ErrCorrupt, len(content))
 			}
 			copy(buf[(1+i)*layout.BlockSize:], content)
+			b.entry.Sum = layout.Checksum(content)
 			entries[i] = b.entry
 			if b.age > youngest {
 				youngest = b.age
@@ -164,6 +169,11 @@ func (fs *FS) flushPending() error {
 		}
 		if err := fs.dev.Write(sumAddr, sumBlock); err != nil {
 			return err
+		}
+		// Remember each block's checksum so verify-on-read can check it
+		// without re-reading the summary from disk.
+		for i := range entries {
+			fs.recordBlockSum(sumAddr+1+int64(i), entries[i].Sum)
 		}
 
 		fs.writeSeq++
@@ -239,7 +249,12 @@ func (fs *FS) tracePartialWrite(sumAddr int64, n int, byKind [8]int64, cleanerBy
 // inode blocks they describe), then file data, indirect blocks and packed
 // inodes — and writes them to the log.
 func (fs *FS) flushLog() error {
-	fs.stageDirOps()
+	if err := fs.failIfDegraded(); err != nil {
+		return err
+	}
+	if err := fs.stageDirOps(); err != nil {
+		return err
+	}
 	if err := fs.stageDataBlocks(); err != nil {
 		return err
 	}
@@ -268,16 +283,19 @@ func (fs *FS) flushLog() error {
 func (fs *FS) inCheckpoint() bool { return fs.cpActive }
 
 // stageDirOps encodes pending directory-operation-log records into dirlog
-// blocks and stages them ahead of everything else.
-func (fs *FS) stageDirOps() {
+// blocks and stages them ahead of everything else. An unencodable record
+// is reported, never panicked over: the records are produced internally,
+// but a corrupt one must not take the process down.
+func (fs *FS) stageDirOps() error {
 	ops := fs.pendingOps
 	fs.pendingOps = nil
 	for len(ops) > 0 {
 		blk, n, err := layout.EncodeDirOpLog(ops)
-		if err != nil || n == 0 {
-			// Records are produced internally and always encodable;
-			// treat failure as a programming error.
-			panic(fmt.Sprintf("lfs: dirlog encode: %v", err))
+		if err != nil {
+			return fmt.Errorf("%w: dirlog encode: %v", ErrCorrupt, err)
+		}
+		if n == 0 {
+			return fmt.Errorf("%w: dirlog encode made no progress", ErrCorrupt)
 		}
 		age := fs.now()
 		fs.stage(stagedBlock{
@@ -291,6 +309,7 @@ func (fs *FS) stageDirOps() {
 		})
 		ops = ops[n:]
 	}
+	return nil
 }
 
 // stageDataBlocks stages the dirty file-cache blocks, sorted by inum and

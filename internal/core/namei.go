@@ -227,6 +227,9 @@ func (fs *FS) Create(path string) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
+	}
 	defer fs.traceOp("create")()
 	fs.tick()
 	dir, name, err := fs.resolveParent(path)
@@ -248,6 +251,9 @@ func (fs *FS) Mkdir(path string) error {
 	defer fs.mu.Unlock()
 	if !fs.mounted {
 		return ErrUnmounted
+	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
 	}
 	defer fs.traceOp("mkdir")()
 	fs.tick()
@@ -271,6 +277,9 @@ func (fs *FS) WriteAt(path string, off int64, data []byte) (int, error) {
 	defer fs.mu.Unlock()
 	if !fs.mounted {
 		return 0, ErrUnmounted
+	}
+	if err := fs.failIfDegraded(); err != nil {
+		return 0, err
 	}
 	defer fs.traceOp("write")()
 	fs.tick()
@@ -296,6 +305,9 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 	defer fs.mu.Unlock()
 	if !fs.mounted {
 		return ErrUnmounted
+	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
 	}
 	defer fs.traceOp("write")()
 	fs.tick()
@@ -413,6 +425,9 @@ func (fs *FS) Truncate(path string, size int64) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
+	}
 	defer fs.traceOp("truncate")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
@@ -488,6 +503,9 @@ func (fs *FS) Link(oldPath, newPath string) error {
 	if !fs.mounted {
 		return ErrUnmounted
 	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
+	}
 	defer fs.traceOp("link")()
 	fs.tick()
 	if err := fs.linkLocked(oldPath, newPath); err != nil {
@@ -531,6 +549,9 @@ func (fs *FS) Remove(path string) error {
 	defer fs.mu.Unlock()
 	if !fs.mounted {
 		return ErrUnmounted
+	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
 	}
 	defer fs.traceOp("delete")()
 	fs.tick()
@@ -601,6 +622,9 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	defer fs.mu.Unlock()
 	if !fs.mounted {
 		return ErrUnmounted
+	}
+	if err := fs.failIfDegraded(); err != nil {
+		return err
 	}
 	defer fs.traceOp("rename")()
 	fs.tick()

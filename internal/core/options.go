@@ -101,6 +101,18 @@ type Options struct {
 	// keyed to simulated disk time. nil (the default) disables tracing
 	// at near-zero cost.
 	Tracer *obs.Tracer
+	// MediaRetries bounds how many times a read failing with a media
+	// error is retried before the error is surfaced (default 3, so up to
+	// 4 attempts total; negative disables retries). Transient latent
+	// sector errors that clear within the budget are invisible to
+	// callers apart from the retry counters.
+	MediaRetries int
+	// NoVerifyReads disables checksum verification of blocks ingested by
+	// the read, cleaner, and roll-forward paths. Verification is on by
+	// default: every block coming off the disk is checked against the
+	// per-block checksum recorded in its segment summary (or its own
+	// self-checksum) before it is used or cached.
+	NoVerifyReads bool
 }
 
 // WithTracer returns a copy of the options with the tracer attached.
@@ -135,6 +147,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CleanBatch == 0 {
 		o.CleanBatch = 8
+	}
+	if o.MediaRetries == 0 {
+		o.MediaRetries = 3
+	} else if o.MediaRetries < 0 {
+		o.MediaRetries = 0
 	}
 	return o
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -29,12 +30,21 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 	opts.SegmentBlocks = int(sb.SegmentBlocks)
 	opts.MaxInodes = int(sb.MaxInodes)
 
-	cp, which, err := readBestCheckpoint(dev, sb)
+	cp, which, err := readBestCheckpoint(dev, sb, opts.MediaRetries)
 	if err != nil {
 		return nil, err
 	}
 
 	fs := newFS(dev, opts, sb)
+	// Restore the quarantine list before anything walks segments: the
+	// cleaner and allocator must never touch a withdrawn segment, even
+	// during recovery itself.
+	for _, s := range cp.Quarantined {
+		if s >= 0 && s < fs.nsegs {
+			fs.quarantined[s] = true
+		}
+	}
+	fs.tr.Add(obs.CtrQuarantinedSegs, int64(len(fs.quarantined)))
 	fs.cpSeq = cp.Seq
 	fs.cpWhich = 1 - which
 	fs.nextInum = cp.NextInum
@@ -53,28 +63,38 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 	}
 	copy(fs.imap.blockAddr, cp.ImapAddrs)
 	copy(fs.usage.blockAddr, cp.UsageAddrs)
+	// A map block that cannot be read or fails its checksum is
+	// unrecoverable metadata: mount continues in degraded read-only mode
+	// with that block's entries missing rather than failing outright, so
+	// the unaffected files stay readable.
 	for i, addr := range cp.ImapAddrs {
 		if addr == layout.NilAddr {
 			continue
 		}
-		buf, err := dev.ReadBlock(addr)
+		buf, err := fs.readBlockRetry(addr)
 		if err != nil {
-			return nil, err
+			fs.degrade(fmt.Sprintf("inode map block %d at %d unreadable: %v", i, addr, err))
+			continue
 		}
 		if err := fs.imap.loadBlock(buf, i); err != nil {
-			return nil, err
+			fs.tr.Add(obs.CtrCorruptBlocks, 1)
+			fs.quarantineSeg(fs.segOf(addr))
+			fs.degrade(fmt.Sprintf("inode map block %d at %d corrupt: %v", i, addr, err))
 		}
 	}
 	for i, addr := range cp.UsageAddrs {
 		if addr == layout.NilAddr {
 			continue
 		}
-		buf, err := dev.ReadBlock(addr)
+		buf, err := fs.readBlockRetry(addr)
 		if err != nil {
-			return nil, err
+			fs.degrade(fmt.Sprintf("segment usage block %d at %d unreadable: %v", i, addr, err))
+			continue
 		}
 		if err := fs.usage.loadBlock(buf, i); err != nil {
-			return nil, err
+			fs.tr.Add(obs.CtrCorruptBlocks, 1)
+			fs.quarantineSeg(fs.segOf(addr))
+			fs.degrade(fmt.Sprintf("segment usage block %d at %d corrupt: %v", i, addr, err))
 		}
 	}
 
@@ -98,6 +118,17 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 	}
 
 	fs.rebuildFreeSegs()
+
+	// A degraded mount stops here as far as repair goes: the in-memory
+	// metadata is incomplete, so usage accounting, directory repair and
+	// the recovery checkpoint would all act on wrong state — and the file
+	// system must never write again anyway. Reads of intact files still
+	// work.
+	if fs.degraded.Load() {
+		fs.inRecovery = false
+		fs.recomputeSegs = nil
+		return fs, nil
+	}
 
 	// The scan moved inodes; refresh the reference counts, then release
 	// the inode blocks the scan fully superseded. The repair pass below
@@ -140,6 +171,13 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 		fs.removeFreeSeg(fs.nextSeg)
 	}
 
+	// The repair passes above may themselves have tripped over
+	// unrecoverable metadata; re-check before committing anything.
+	if fs.degraded.Load() {
+		fs.inRecovery = false
+		return fs, nil
+	}
+
 	if !opts.NoRollForward {
 		// Commit the recovered state (Section 4.2: the recovery program
 		// appends the changed directories, inodes, inode map and segment
@@ -170,13 +208,26 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 }
 
 // readBestCheckpoint reads both checkpoint regions and returns the valid
-// one with the newest sequence number (Section 4.1).
-func readBestCheckpoint(dev *disk.Disk, sb *layout.Superblock) (*layout.Checkpoint, int, error) {
+// one with the newest sequence number (Section 4.1). A region that
+// cannot be read because of a media fault is treated like a torn one:
+// the other region decides. Only if neither region yields a valid
+// checkpoint does the mount fail.
+func readBestCheckpoint(dev *disk.Disk, sb *layout.Superblock, retries int) (*layout.Checkpoint, int, error) {
 	var best *layout.Checkpoint
 	which := -1
 	for i := 0; i < 2; i++ {
 		buf := make([]byte, int(sb.CheckpointBlocks)*layout.BlockSize)
-		if err := dev.Read(sb.CheckpointAddr[i], buf); err != nil {
+		var err error
+		for attempt := 0; ; attempt++ {
+			if err = dev.Read(sb.CheckpointAddr[i], buf); err == nil ||
+				!errors.Is(err, disk.ErrMediaRead) || attempt >= retries {
+				break
+			}
+		}
+		if err != nil {
+			if errors.Is(err, disk.ErrMediaRead) {
+				continue // unreadable region; the other may still be valid
+			}
 			return nil, 0, err
 		}
 		cp, err := layout.DecodeCheckpoint(buf)
@@ -216,7 +267,7 @@ func (fs *FS) rebuildFreeInums() {
 func (fs *FS) rebuildFreeSegs() {
 	fs.freeSegs = fs.freeSegs[:0]
 	for s := int64(0); s < fs.nsegs; s++ {
-		if s == fs.head || s == fs.nextSeg || fs.recomputeSegs[s] {
+		if s == fs.head || s == fs.nextSeg || fs.recomputeSegs[s] || fs.isQuarantined(s) {
 			continue
 		}
 		if fs.usage.isClean(s) {
@@ -258,8 +309,16 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 			continue
 		}
 		sumAddr := fs.segStart(seg) + off
-		sumBuf, err := fs.dev.ReadBlock(sumAddr)
+		sumBuf, err := fs.readBlockRetry(sumAddr)
 		if err != nil {
+			if errors.Is(err, disk.ErrMediaRead) {
+				// The scan cannot tell whether the log continued past the
+				// unreadable summary: committed writes may be stranded
+				// beyond it. Stop here and degrade rather than silently
+				// truncate the log.
+				fs.degrade(fmt.Sprintf("roll-forward summary at %d unreadable: %v", sumAddr, err))
+				break
+			}
 			return nil, err
 		}
 		s, err := layout.DecodeSummary(sumBuf)
@@ -274,21 +333,35 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 		// summary, so a valid summary implies complete data: only the
 		// inode and directory-log blocks need to be read. This is what
 		// keeps recovery time proportional to the number of files
-		// recovered rather than the volume of data (Table 3).
+		// recovered rather than the volume of data (Table 3). The
+		// summary's per-block checksums are harvested along the way so
+		// later reads of these blocks verify without a chain walk.
+		unreadable := false
 		for i, e := range s.Entries {
 			addr := sumAddr + 1 + int64(i)
+			fs.recordBlockSum(addr, e.Sum)
 			switch e.Kind {
 			case layout.KindInode:
-				block, err := fs.dev.ReadBlock(addr)
+				block, err := fs.readBlockRetry(addr)
 				if err != nil {
+					if errors.Is(err, disk.ErrMediaRead) {
+						fs.degrade(fmt.Sprintf("roll-forward inode block at %d unreadable: %v", addr, err))
+						unreadable = true
+						break
+					}
 					return nil, err
 				}
 				if err := fs.recoverInodeBlock(addr, block); err != nil {
 					return nil, err
 				}
 			case layout.KindDirLog:
-				block, err := fs.dev.ReadBlock(addr)
+				block, err := fs.readBlockRetry(addr)
 				if err != nil {
+					if errors.Is(err, disk.ErrMediaRead) {
+						fs.degrade(fmt.Sprintf("roll-forward dirlog block at %d unreadable: %v", addr, err))
+						unreadable = true
+						break
+					}
 					return nil, err
 				}
 				ops, err := layout.DecodeDirOpLog(block)
@@ -307,6 +380,12 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 			// Data, indirect, imap and usage blocks need no direct
 			// action: inodes incorporate data and indirect blocks, and
 			// the checkpoint regions are the authority for map blocks.
+			if unreadable {
+				break
+			}
+		}
+		if unreadable {
+			break
 		}
 
 		fs.usage.noteWrite(seg, s.Timestamp)
@@ -396,7 +475,7 @@ func (fs *FS) incLiveRecovery(addr int64) error {
 // inodeMapAddrs reads the inode stored at (addr, slot) and returns every
 // disk address its block map references.
 func (fs *FS) inodeMapAddrs(addr int64, slot uint16) ([]int64, error) {
-	buf, err := fs.dev.ReadBlock(addr)
+	buf, err := fs.readBlockRetry(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -421,7 +500,7 @@ func (fs *FS) collectMapAddrs(ino *layout.Inode) ([]int64, error) {
 	}
 	if ino.Indirect != layout.NilAddr {
 		out = append(out, ino.Indirect)
-		buf, err := fs.dev.ReadBlock(ino.Indirect)
+		buf, err := fs.readBlockRetry(ino.Indirect)
 		if err != nil {
 			return nil, err
 		}
@@ -433,7 +512,7 @@ func (fs *FS) collectMapAddrs(ino *layout.Inode) ([]int64, error) {
 	}
 	if ino.DIndir != layout.NilAddr {
 		out = append(out, ino.DIndir)
-		top, err := fs.dev.ReadBlock(ino.DIndir)
+		top, err := fs.readBlockRetry(ino.DIndir)
 		if err != nil {
 			return nil, err
 		}
@@ -442,7 +521,7 @@ func (fs *FS) collectMapAddrs(ino *layout.Inode) ([]int64, error) {
 				continue
 			}
 			out = append(out, l2addr)
-			l2, err := fs.dev.ReadBlock(l2addr)
+			l2, err := fs.readBlockRetry(l2addr)
 			if err != nil {
 				return nil, err
 			}
@@ -622,8 +701,12 @@ func (fs *FS) recomputeUsage() error {
 		var liveBlocks int64
 		off := int64(0)
 		for off <= fs.segBlocks-2 {
-			buf, err := fs.dev.ReadBlock(start + off)
+			buf, err := fs.readBlockRetry(start + off)
 			if err != nil {
+				if errors.Is(err, disk.ErrMediaRead) {
+					fs.degrade(fmt.Sprintf("usage recomputation: summary at %d unreadable: %v", start+off, err))
+					break
+				}
 				return err
 			}
 			s, err := layout.DecodeSummary(buf)

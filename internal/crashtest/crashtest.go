@@ -41,6 +41,9 @@ type Config struct {
 	// MaxPoints write boundaries are explored exhaustively, larger ones
 	// are sampled (default 16). Negative means always exhaustive.
 	MaxPoints int
+	// MaxFaultSites caps the read sites FaultSweep injects faults at;
+	// 0 explores every site, larger site sets are sampled evenly.
+	MaxFaultSites int
 }
 
 func (c Config) withDefaults() Config {

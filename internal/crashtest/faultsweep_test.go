@@ -1,0 +1,37 @@
+package crashtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFaultSweep50Ops is the headline media-fault contract: a 50-op
+// workload, one injected fault per read site and kind. Zero panics,
+// typed errors only, unaffected files byte-identical.
+func TestFaultSweep50Ops(t *testing.T) {
+	res, err := FaultSweep(core.Script{Seed: 5001, N: 50}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites == 0 {
+		t.Fatal("sweep traced no read sites")
+	}
+	if res.Runs != 2*res.Sites {
+		t.Fatalf("Runs = %d, want %d (two fault kinds per site)", res.Runs, 2*res.Sites)
+	}
+	t.Logf("faultsweep: %d sites, %d runs, %d typed errors, %d degraded, %d failed mounts",
+		res.Sites, res.Runs, res.TypedErrors, res.Degraded, res.MountFailed)
+}
+
+// TestFaultSweepSampled exercises the site-sampling path on a second
+// seed, keeping a bound on test time.
+func TestFaultSweepSampled(t *testing.T) {
+	res, err := FaultSweep(core.Script{Seed: 77, N: 30}, Config{MaxFaultSites: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites == 0 || res.Sites > 25 {
+		t.Fatalf("Sites = %d, want 1..25", res.Sites)
+	}
+}

@@ -129,6 +129,10 @@ type Disk struct {
 	// A negative count disables injection.
 	writesLeft int64
 	armed      bool
+
+	// Media faults (fault.go): latent read errors and silent corruption.
+	// Unlike the fail-stop state these survive Reopen.
+	faults []*fault
 }
 
 // New creates a zero-filled simulated device with the given geometry.
@@ -277,9 +281,10 @@ func (d *Disk) Crashed() bool {
 	return d.crashed
 }
 
-// Reopen clears the crashed state and disarms fault injection, simulating
-// a reboot with the same media. Persisted contents survive; the head
-// position and statistics are reset (a fresh boot).
+// Reopen clears the crashed state and disarms fail-stop fault injection,
+// simulating a reboot with the same media. Persisted contents survive;
+// the head position and statistics are reset (a fresh boot). Injected
+// media faults also survive: a reboot does not repair a bad sector.
 func (d *Disk) Reopen() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -397,7 +402,7 @@ func (d *Disk) Read(addr int64, buf []byte) error {
 			copy(dst, b)
 		}
 	}
-	return nil
+	return d.applyReadFaults(addr, n, buf)
 }
 
 // Write writes len(data) bytes starting at block addr. len(data) must be

@@ -1,0 +1,173 @@
+// Media-fault injection: latent sector read errors and silent bit-flip
+// corruption, layered alongside the fail-stop (power-cut) model. Faults
+// are a property of the simulated media, so unlike FailAfterWrites they
+// survive Reopen — a reboot does not repair a bad sector. Everything is
+// deterministic and seedable so fault-sweep tests replay exactly.
+package disk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMediaRead reports an unrecoverable (or not-yet-recovered transient)
+// media error on a read. It is the target for errors.Is; the concrete
+// error carries the failing block address.
+var ErrMediaRead = errors.New("disk: media read error")
+
+// MediaError is the concrete error returned when a read touches a block
+// covered by an active FaultReadError fault. It unwraps to ErrMediaRead.
+type MediaError struct {
+	Addr int64 // failing block address
+}
+
+func (e *MediaError) Error() string {
+	return fmt.Sprintf("disk: media read error at block %d", e.Addr)
+}
+
+// Unwrap makes errors.Is(err, ErrMediaRead) match.
+func (e *MediaError) Unwrap() error { return ErrMediaRead }
+
+// FaultKind selects what an injected fault does to reads.
+type FaultKind uint8
+
+const (
+	// FaultReadError makes reads covering the range fail with a
+	// *MediaError. If Transient > 0 the fault clears after that many
+	// failed read attempts (a recoverable latent error); otherwise it is
+	// permanent until ClearFaults.
+	FaultReadError FaultKind = iota + 1
+	// FaultCorrupt makes reads covering the range succeed but return
+	// silently corrupted data: a deterministic bit flip derived from
+	// Seed and the block address, stable across repeated reads. The
+	// persisted contents are untouched (Peek sees the true bytes).
+	FaultCorrupt
+)
+
+// Fault scripts one media fault over a block address range.
+type Fault struct {
+	Kind   FaultKind
+	Addr   int64 // first block covered
+	Blocks int64 // blocks covered (0 means 1)
+	// Transient, for FaultReadError, is how many failed read attempts
+	// occur before the fault clears on its own. 0 means permanent.
+	Transient int
+	// Seed drives the deterministic corruption pattern for FaultCorrupt.
+	Seed int64
+}
+
+// fault is the armed form of a Fault, with its remaining transient count.
+type fault struct {
+	Fault
+	remaining int // attempts left before a transient fault clears
+	cleared   bool
+}
+
+func (f *fault) covers(addr int64) bool {
+	n := f.Blocks
+	if n <= 0 {
+		n = 1
+	}
+	return addr >= f.Addr && addr < f.Addr+n
+}
+
+// InjectFault arms one media fault. Faults accumulate until ClearFaults;
+// they survive Reopen (bad sectors are not repaired by a reboot) but are
+// not carried into devices instantiated with FromSnapshot.
+func (d *Disk) InjectFault(f Fault) error {
+	n := f.Blocks
+	if n <= 0 {
+		n = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkRange(f.Addr, int(n)); err != nil {
+		return err
+	}
+	switch f.Kind {
+	case FaultReadError, FaultCorrupt:
+	default:
+		return fmt.Errorf("disk: unknown fault kind %d", f.Kind)
+	}
+	d.faults = append(d.faults, &fault{Fault: f, remaining: f.Transient})
+	return nil
+}
+
+// ClearFaults removes every injected media fault, simulating a media
+// replacement. The fail-stop state is untouched.
+func (d *Disk) ClearFaults() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults = nil
+}
+
+// ActiveFaults returns the injected faults that have not yet cleared, in
+// injection order. Intended for tests and tools.
+func (d *Disk) ActiveFaults() []Fault {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []Fault
+	for _, f := range d.faults {
+		if !f.cleared {
+			out = append(out, f.Fault)
+		}
+	}
+	return out
+}
+
+// applyReadFaults applies media faults to one read request of n blocks at
+// addr whose data has already been copied into buf. Corruption faults
+// rewrite the affected blocks in buf; read-error faults fail the whole
+// request with the first failing address (the controller aborts the
+// transfer). Each transient fault counts at most one attempt per request.
+// Called with d.mu held, after the request has been charged — the device
+// did the mechanical work even though the data never arrived.
+func (d *Disk) applyReadFaults(addr int64, n int, buf []byte) error {
+	if len(d.faults) == 0 {
+		return nil
+	}
+	bs := d.geo.BlockSize
+	var ferr error
+	for _, f := range d.faults {
+		if f.cleared {
+			continue
+		}
+		hit := false
+		for i := 0; i < n; i++ {
+			a := addr + int64(i)
+			if !f.covers(a) {
+				continue
+			}
+			hit = true
+			switch f.Kind {
+			case FaultCorrupt:
+				corruptBlock(buf[i*bs:(i+1)*bs], f.Seed, a)
+			case FaultReadError:
+				if ferr == nil {
+					ferr = &MediaError{Addr: a}
+				}
+			}
+		}
+		if hit && f.Kind == FaultReadError && f.Transient > 0 {
+			f.remaining--
+			if f.remaining <= 0 {
+				f.cleared = true
+			}
+		}
+	}
+	return ferr
+}
+
+// corruptBlock flips bits in b as a pure function of (seed, addr), so the
+// same corrupted bytes come back on every read of the block. The XOR mask
+// is forced non-zero, so the block always differs from its true contents.
+func corruptBlock(b []byte, seed, addr int64) {
+	x := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(addr)*0xBF58476D1CE4E5B9 ^ 0xD6E8FEB86659FD93
+	// xorshift64 mix
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	pos := int(x % uint64(len(b)))
+	mask := byte(x>>40) | 1
+	b[pos] ^= mask
+}

@@ -1,0 +1,232 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func faultTestDisk(t *testing.T) *Disk {
+	t.Helper()
+	d := MustNew(DefaultGeometry(64))
+	for a := int64(0); a < 64; a++ {
+		blk := make([]byte, d.BlockSize())
+		for i := range blk {
+			blk[i] = byte(a)
+		}
+		if err := d.WriteBlock(a, blk); err != nil {
+			t.Fatalf("seed write %d: %v", a, err)
+		}
+	}
+	return d
+}
+
+func TestFaultReadErrorTyped(t *testing.T) {
+	d := faultTestDisk(t)
+	if err := d.InjectFault(Fault{Kind: FaultReadError, Addr: 5}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	_, err := d.ReadBlock(5)
+	if !errors.Is(err, ErrMediaRead) {
+		t.Fatalf("read of faulted block err = %v, want ErrMediaRead", err)
+	}
+	var me *MediaError
+	if !errors.As(err, &me) || me.Addr != 5 {
+		t.Fatalf("err = %#v, want *MediaError{Addr: 5}", err)
+	}
+	// A multi-block request touching the faulted block fails whole.
+	buf := make([]byte, 4*d.BlockSize())
+	if err := d.Read(3, buf); !errors.Is(err, ErrMediaRead) {
+		t.Fatalf("spanning read err = %v, want ErrMediaRead", err)
+	}
+	// Reads elsewhere are unaffected.
+	if _, err := d.ReadBlock(6); err != nil {
+		t.Fatalf("read of healthy block: %v", err)
+	}
+	// The fault is permanent: still failing after many attempts.
+	for i := 0; i < 10; i++ {
+		if _, err := d.ReadBlock(5); !errors.Is(err, ErrMediaRead) {
+			t.Fatalf("attempt %d: err = %v, want ErrMediaRead", i, err)
+		}
+	}
+}
+
+func TestFaultTransientClears(t *testing.T) {
+	d := faultTestDisk(t)
+	if err := d.InjectFault(Fault{Kind: FaultReadError, Addr: 7, Transient: 2}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := d.ReadBlock(7); !errors.Is(err, ErrMediaRead) {
+			t.Fatalf("attempt %d: err = %v, want ErrMediaRead", i, err)
+		}
+	}
+	blk, err := d.ReadBlock(7)
+	if err != nil {
+		t.Fatalf("read after transient cleared: %v", err)
+	}
+	if blk[0] != 7 {
+		t.Fatalf("cleared read returned %d, want 7", blk[0])
+	}
+	if got := d.ActiveFaults(); len(got) != 0 {
+		t.Fatalf("ActiveFaults after clearing = %v, want none", got)
+	}
+}
+
+func TestFaultTransientCountsOncePerRequest(t *testing.T) {
+	d := faultTestDisk(t)
+	// The fault covers 4 blocks; one spanning request must count as one
+	// attempt, not four.
+	if err := d.InjectFault(Fault{Kind: FaultReadError, Addr: 8, Blocks: 4, Transient: 2}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	buf := make([]byte, 4*d.BlockSize())
+	if err := d.Read(8, buf); !errors.Is(err, ErrMediaRead) {
+		t.Fatal("first spanning read should fail")
+	}
+	if err := d.Read(8, buf); !errors.Is(err, ErrMediaRead) {
+		t.Fatal("second spanning read should fail")
+	}
+	if err := d.Read(8, buf); err != nil {
+		t.Fatalf("third spanning read should succeed: %v", err)
+	}
+}
+
+func TestFaultCorruptDeterministic(t *testing.T) {
+	d := faultTestDisk(t)
+	if err := d.InjectFault(Fault{Kind: FaultCorrupt, Addr: 9, Seed: 42}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	first, err := d.ReadBlock(9)
+	if err != nil {
+		t.Fatalf("corrupt read errored: %v", err)
+	}
+	true9, err := d.Peek(9)
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	if bytes.Equal(first, true9) {
+		t.Fatal("corrupted read equals the true contents")
+	}
+	second, err := d.ReadBlock(9)
+	if err != nil {
+		t.Fatalf("second corrupt read errored: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("corruption is not stable across reads")
+	}
+	// Identical seed and address on an identical disk reproduce the
+	// identical corruption.
+	d2 := faultTestDisk(t)
+	if err := d2.InjectFault(Fault{Kind: FaultCorrupt, Addr: 9, Seed: 42}); err != nil {
+		t.Fatalf("inject 2: %v", err)
+	}
+	other, err := d2.ReadBlock(9)
+	if err != nil {
+		t.Fatalf("read 2: %v", err)
+	}
+	if !bytes.Equal(first, other) {
+		t.Fatal("corruption differs across identically seeded disks")
+	}
+}
+
+func TestFaultsSurviveReopen(t *testing.T) {
+	d := faultTestDisk(t)
+	if err := d.InjectFault(Fault{Kind: FaultReadError, Addr: 11}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	d.Crash()
+	if _, err := d.ReadBlock(11); !errors.Is(err, ErrCrashed) {
+		t.Fatal("reads on a crashed disk must fail with ErrCrashed")
+	}
+	d.Reopen()
+	// A reboot repairs nothing: the bad sector is still bad.
+	if _, err := d.ReadBlock(11); !errors.Is(err, ErrMediaRead) {
+		t.Fatalf("post-reopen read err = %v, want ErrMediaRead", err)
+	}
+	// But healthy blocks read fine again.
+	if _, err := d.ReadBlock(12); err != nil {
+		t.Fatalf("post-reopen healthy read: %v", err)
+	}
+}
+
+func TestFaultsNotCarriedIntoSnapshot(t *testing.T) {
+	d := faultTestDisk(t)
+	if err := d.InjectFault(Fault{Kind: FaultReadError, Addr: 13}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	d2 := FromSnapshot(d.Snapshot())
+	if _, err := d2.ReadBlock(13); err != nil {
+		t.Fatalf("snapshot clone inherited the fault: %v", err)
+	}
+}
+
+// TestFaultComposesWithFailStop covers the fail-stop x media-fault
+// interaction: arming both must behave deterministically — the power cut
+// lands at the same write, reads while crashed fail with ErrCrashed, and
+// after Reopen the media fault (and only the media fault) remains.
+func TestFaultComposesWithFailStop(t *testing.T) {
+	run := func() []string {
+		var trace []string
+		note := func(step string, err error) {
+			trace = append(trace, fmt.Sprintf("%s: %v", step, err))
+		}
+		d := faultTestDisk(t)
+		if err := d.InjectFault(Fault{Kind: FaultReadError, Addr: 20}); err != nil {
+			t.Fatalf("inject: %v", err)
+		}
+		if err := d.InjectFault(Fault{Kind: FaultCorrupt, Addr: 21, Seed: 7}); err != nil {
+			t.Fatalf("inject: %v", err)
+		}
+		d.FailAfterWrites(2)
+		blk := make([]byte, d.BlockSize())
+		note("write-1", d.WriteBlock(30, blk))
+		note("write-2", d.WriteBlock(31, blk))
+		err := d.WriteBlock(32, blk)
+		note("write-3", err)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("third write err = %v, want ErrCrashed", err)
+		}
+		_, err = d.ReadBlock(20)
+		note("read-crashed", err)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("read while crashed err = %v, want ErrCrashed", err)
+		}
+		d.Reopen()
+		_, err = d.ReadBlock(20)
+		note("read-media", err)
+		if !errors.Is(err, ErrMediaRead) {
+			t.Fatalf("post-reopen faulted read err = %v, want ErrMediaRead", err)
+		}
+		corr, err := d.ReadBlock(21)
+		note("read-corrupt", err)
+		if err != nil {
+			t.Fatalf("corrupt read errored: %v", err)
+		}
+		trace = append(trace, fmt.Sprintf("corrupt-bytes: %x", corr[:8]))
+		if _, err := d.ReadBlock(30); err != nil {
+			t.Fatalf("persisted write unreadable after reopen: %v", err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic composition at step %d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInjectFaultValidates(t *testing.T) {
+	d := faultTestDisk(t)
+	if err := d.InjectFault(Fault{Kind: FaultReadError, Addr: 1000}); err == nil {
+		t.Fatal("out-of-range fault accepted")
+	}
+	if err := d.InjectFault(Fault{Kind: 0, Addr: 1}); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}

@@ -25,23 +25,35 @@ type Checkpoint struct {
 	DirLogSeq  uint64 // next directory-operation-log sequence number
 	ImapAddrs  []int64
 	UsageAddrs []int64
+	// Quarantined lists segments withdrawn from service after a media
+	// fault was detected in them. The list rides in the checkpoint so the
+	// allocator and cleaner keep avoiding bad segments across mounts.
+	Quarantined []int64
 }
 
 const cpHeader = 64
 const cpTrailer = 16
 
+// MaxQuarantinedSegs is the quarantine-list capacity every checkpoint
+// region is formatted with. A file system that detects more bad segments
+// than this cannot persist the fact and must degrade instead.
+const MaxQuarantinedSegs = 64
+
 // CheckpointBlocksNeeded returns how many blocks a checkpoint region with
-// the given numbers of map addresses requires.
-func CheckpointBlocksNeeded(nImap, nUsage int) int {
-	payload := cpHeader + 8*(nImap+nUsage) + cpTrailer
+// the given numbers of map addresses and quarantined segments requires.
+func CheckpointBlocksNeeded(nImap, nUsage, nQuar int) int {
+	payload := cpHeader + 8*(nImap+nUsage) + 8 + 8*nQuar + cpTrailer
 	return (payload + BlockSize - 1) / BlockSize
 }
 
 // Encode serializes the checkpoint into exactly nblocks blocks.
 func (cp *Checkpoint) Encode(nblocks int) ([]byte, error) {
-	need := CheckpointBlocksNeeded(len(cp.ImapAddrs), len(cp.UsageAddrs))
+	need := CheckpointBlocksNeeded(len(cp.ImapAddrs), len(cp.UsageAddrs), len(cp.Quarantined))
 	if need > nblocks {
 		return nil, fmt.Errorf("%w: checkpoint needs %d blocks, region has %d", ErrTooLarge, need, nblocks)
+	}
+	if len(cp.Quarantined) > MaxQuarantinedSegs {
+		return nil, fmt.Errorf("%w: %d quarantined segments (max %d)", ErrTooLarge, len(cp.Quarantined), MaxQuarantinedSegs)
 	}
 	buf := make([]byte, nblocks*BlockSize)
 	le := binary.LittleEndian
@@ -62,6 +74,14 @@ func (cp *Checkpoint) Encode(nblocks int) ([]byte, error) {
 		off += 8
 	}
 	for _, a := range cp.UsageAddrs {
+		le.PutUint64(buf[off:], uint64(a))
+		off += 8
+	}
+	// Quarantine list: count then addresses, inside the CRC-covered
+	// payload so a corrupted count cannot resurrect a bad segment.
+	le.PutUint64(buf[off:], uint64(len(cp.Quarantined)))
+	off += 8
+	for _, a := range cp.Quarantined {
 		le.PutUint64(buf[off:], uint64(a))
 		off += 8
 	}
@@ -115,6 +135,23 @@ func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
 	for i := range cp.UsageAddrs {
 		cp.UsageAddrs[i] = int64(le.Uint64(buf[off:]))
 		off += 8
+	}
+	// Quarantine list; regions written before the list existed carry
+	// zeros here, which decode as an empty list.
+	if off+8 <= t {
+		q := le.Uint64(buf[off:])
+		off += 8
+		if q > MaxQuarantinedSegs || off+8*int(q) > t {
+			return nil, fmt.Errorf("layout: checkpoint claims %d quarantined segments", q)
+		}
+		nQuar := int(q)
+		if nQuar > 0 {
+			cp.Quarantined = make([]int64, nQuar)
+			for i := range cp.Quarantined {
+				cp.Quarantined[i] = int64(le.Uint64(buf[off:]))
+				off += 8
+			}
+		}
 	}
 	return cp, nil
 }

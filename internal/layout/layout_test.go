@@ -286,18 +286,19 @@ func TestBlockKindString(t *testing.T) {
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	cp := &Checkpoint{
-		Seq:        9,
-		Timestamp:  1000,
-		NextInum:   55,
-		HeadSeg:    12,
-		HeadOffset: 34,
-		NextSeg:    13,
-		WriteSeq:   200,
-		DirLogSeq:  77,
-		ImapAddrs:  []int64{100, 200, NilAddr},
-		UsageAddrs: []int64{300, 400},
+		Seq:         9,
+		Timestamp:   1000,
+		NextInum:    55,
+		HeadSeg:     12,
+		HeadOffset:  34,
+		NextSeg:     13,
+		WriteSeq:    200,
+		DirLogSeq:   77,
+		ImapAddrs:   []int64{100, 200, NilAddr},
+		UsageAddrs:  []int64{300, 400},
+		Quarantined: []int64{7, 9},
 	}
-	n := CheckpointBlocksNeeded(len(cp.ImapAddrs), len(cp.UsageAddrs))
+	n := CheckpointBlocksNeeded(len(cp.ImapAddrs), len(cp.UsageAddrs), len(cp.Quarantined))
 	buf, err := cp.Encode(n)
 	if err != nil {
 		t.Fatal(err)
@@ -322,7 +323,7 @@ func TestCheckpointMultiBlock(t *testing.T) {
 	for i := 0; i < 600; i++ {
 		cp.UsageAddrs = append(cp.UsageAddrs, int64(i*2))
 	}
-	n := CheckpointBlocksNeeded(600, 600)
+	n := CheckpointBlocksNeeded(600, 600, 0)
 	if n < 3 {
 		t.Fatalf("expected multi-block checkpoint, got %d blocks", n)
 	}
@@ -550,7 +551,7 @@ func TestQuickCheckpointRoundTrip(t *testing.T) {
 			usage = usage[:400]
 		}
 		cp := &Checkpoint{Seq: seq, Timestamp: ts, ImapAddrs: imap, UsageAddrs: usage}
-		n := CheckpointBlocksNeeded(len(imap), len(usage))
+		n := CheckpointBlocksNeeded(len(imap), len(usage), 0)
 		buf, err := cp.Encode(n)
 		if err != nil {
 			return false

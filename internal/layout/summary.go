@@ -53,15 +53,20 @@ func (k BlockKind) String() string {
 // summary information to include modified times for each block"
 // (Section 3.6) — this implementation carries the per-block time the
 // paper planned.
+// Sum is the CRC-32C of the block's contents as written. Data and
+// indirect blocks carry no self-checksum, so this is the only integrity
+// record for them: verify-on-read, the cleaner, and scrub all compare
+// blocks they ingest against it to detect silent media corruption.
 type SummaryEntry struct {
 	Kind    BlockKind
 	Inum    uint32
 	Version uint32
 	BlockNo uint32
 	Age     uint64
+	Sum     uint32
 }
 
-const summaryEntrySize = 1 + 4 + 4 + 4 + 8 // 21
+const summaryEntrySize = 1 + 4 + 4 + 4 + 8 + 4 // 25
 const summaryHeader = 64
 
 // MaxSummaryEntries is the number of blocks one summary block can describe.
@@ -103,6 +108,7 @@ func (s *Summary) Encode() ([]byte, error) {
 		le.PutUint32(buf[off+5:], e.Version)
 		le.PutUint32(buf[off+9:], e.BlockNo)
 		le.PutUint64(buf[off+13:], e.Age)
+		le.PutUint32(buf[off+21:], e.Sum)
 		off += summaryEntrySize
 	}
 	// The checksum covers everything except itself.
@@ -139,6 +145,7 @@ func DecodeSummary(buf []byte) (*Summary, error) {
 			Version: le.Uint32(buf[off+5:]),
 			BlockNo: le.Uint32(buf[off+9:]),
 			Age:     le.Uint64(buf[off+13:]),
+			Sum:     le.Uint32(buf[off+21:]),
 		}
 		off += summaryEntrySize
 	}

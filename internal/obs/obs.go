@@ -91,6 +91,31 @@ const (
 	CtrCleanerBgPasses = "cleaner.bg.passes"
 )
 
+// Media-fault counters, recorded by the verify-on-read pipeline, the
+// cleaner's pre-copy verification, scrub, and the degraded-mode switch.
+const (
+	// CtrMediaRetries counts read retries issued after a media error.
+	CtrMediaRetries = "media.retries"
+	// CtrMediaErrors counts reads that still failed with a media error
+	// after the bounded retry budget.
+	CtrMediaErrors = "media.errors"
+	// CtrCorruptBlocks counts blocks whose contents failed checksum
+	// verification (silent corruption detected).
+	CtrCorruptBlocks = "media.corrupt.blocks"
+	// CtrVerifiedBlocks counts blocks that passed checksum verification
+	// on ingest.
+	CtrVerifiedBlocks = "media.verified.blocks"
+	// CtrQuarantinedSegs counts segments placed in quarantine.
+	CtrQuarantinedSegs = "media.quarantined.segments"
+	// CtrDegraded counts transitions into degraded read-only mode (0 or 1
+	// per mount; the mode is sticky).
+	CtrDegraded = "fs.degraded"
+	// CtrScrubBlocks counts live blocks examined by scrub.
+	CtrScrubBlocks = "scrub.blocks"
+	// CtrScrubErrors counts checksum or media failures found by scrub.
+	CtrScrubErrors = "scrub.errors"
+)
+
 // HistWriterStall is the latency histogram of writer stalls behind the
 // background cleaner. Unlike the op.* histograms it is recorded in host
 // wall-clock time, not simulated disk time: a stall is a scheduling

@@ -63,6 +63,36 @@ type FileInfo = core.FileInfo
 // CheckReport is the result of a full consistency sweep, see (*FS).Check.
 type CheckReport = core.CheckReport
 
+// ScrubReport is the result of a media scrub, see (*FS).Scrub.
+type ScrubReport = core.ScrubReport
+
+// ScrubError is one verification failure found by a scrub.
+type ScrubError = core.ScrubError
+
+// ErrCorrupted reports a block whose contents fail checksum
+// verification; it carries the owning inode, file offset and disk
+// address when they are known. Returned (wrapped) by read operations and
+// listed in scrub reports.
+type ErrCorrupted = core.ErrCorrupted
+
+// Fault describes one injected media fault on the simulated disk; see
+// (*Disk).InjectFault. Faults model media damage, so they survive
+// (*Disk).Reopen.
+type Fault = disk.Fault
+
+// FaultKind selects what an injected fault does.
+type FaultKind = disk.FaultKind
+
+// Fault kinds.
+const (
+	// FaultReadError makes reads of the faulty range fail with an error
+	// wrapping ErrMediaRead (a latent sector error).
+	FaultReadError = disk.FaultReadError
+	// FaultCorrupt makes reads of the faulty range return deterministically
+	// corrupted contents (silent bit rot).
+	FaultCorrupt = disk.FaultCorrupt
+)
+
 // CleaningPolicy selects how the cleaner chooses segments.
 type CleaningPolicy = core.CleaningPolicy
 
@@ -142,6 +172,16 @@ var (
 	ErrUnmounted    = core.ErrUnmounted
 	ErrNoCheckpoint = core.ErrNoCheckpoint
 	ErrBadPath      = core.ErrBadPath
+	// ErrMediaRead is the sentinel wrapped by read errors caused by
+	// injected media faults (matches with errors.Is).
+	ErrMediaRead = core.ErrMediaRead
+	// ErrDegraded is returned by every mutating operation once the file
+	// system has entered degraded read-only mode after unrecoverable
+	// metadata corruption; see (*FS).Degraded and (*FS).DegradedReason.
+	ErrDegraded = core.ErrDegraded
+	// ErrCorrupt is the sentinel wrapped by *ErrCorrupted checksum
+	// failures (matches with errors.Is).
+	ErrCorrupt = core.ErrCorrupt
 )
 
 // NewDisk returns a simulated disk with nblocks 4 KB blocks and the

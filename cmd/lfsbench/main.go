@@ -12,9 +12,11 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -23,12 +25,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (see -list), or \"all\"")
-		quick   = flag.Bool("quick", false, "use scaled-down disks and workloads")
-		seed    = flag.Int64("seed", 42, "random seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		trace   = flag.String("trace", "", "write a JSONL event trace to this file")
-		metrics = flag.Bool("metrics", false, "print the obs metrics snapshot after the run")
+		exp      = flag.String("exp", "all", "experiment to run (see -list), or \"all\"")
+		quick    = flag.Bool("quick", false, "use scaled-down disks and workloads")
+		seed     = flag.Int64("seed", 42, "random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		trace    = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics  = flag.Bool("metrics", false, "print the obs metrics snapshot after the run")
+		snapshot = flag.String("snapshot", "", "run the groupcommit grid and write structured results to this JSON file")
 	)
 	flag.Parse()
 
@@ -93,6 +96,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *snapshot != "" {
+		if err := writeSnapshot(cfg, *snapshot); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *snapshot)
+		closeTrace()
+		return
+	}
+
 	if *exp == "all" {
 		for _, e := range bench.Experiments() {
 			if err := run(e); err != nil {
@@ -114,4 +126,40 @@ func main() {
 		fmt.Println(cfg.Tracer.Metrics().String())
 	}
 	closeTrace()
+}
+
+// benchSnapshot is the schema of the BENCH_<date>.json artifact: the
+// group-commit grid plus enough run metadata to compare snapshots
+// across commits.
+type benchSnapshot struct {
+	Date        string                    `json:"date"`
+	GoVersion   string                    `json:"go_version"`
+	Quick       bool                      `json:"quick"`
+	Seed        int64                     `json:"seed"`
+	GroupCommit []bench.GroupCommitResult `json:"groupcommit"`
+}
+
+func writeSnapshot(cfg bench.Config, path string) error {
+	results, err := bench.RunGroupCommitResults(cfg)
+	if err != nil {
+		return err
+	}
+	snap := benchSnapshot{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		Quick:       cfg.Quick,
+		Seed:        cfg.Seed,
+		GroupCommit: results,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"ablation-thresholds", "cleaner water marks sweep", RunAblationThresholds},
 		{"ablation-cleanread", "whole-segment vs live-only cleaning reads", RunAblationCleanRead},
 		{"bgclean", "reader latency during cleaning: inline vs background cleaner", RunBgClean},
+		{"groupcommit", "concurrent writers: grouped vs serialized log admission", RunGroupCommit},
 	}
 }
 

@@ -150,15 +150,17 @@ func (fs *FS) cleanerRun() {
 // bgStallThreshold is the epilogue backpressure threshold: a mutating
 // operation that ends with fewer clean segments than this blocks until
 // the background cleaner replenishes the pool. It sits above the
-// cleaner-only reserve by the most segments the next operation can
-// consume before reaching its own epilogue (two in-flight buffer
-// flushes, mirroring the CleanLowWater floor in withDefaults), so the
-// hard reserve check in advanceSegment — which cannot block — is never
-// hit by a writer that respected the epilogue stall. withDefaults
-// guarantees CleanLowWater exceeds this, so the cleaner is always
-// kicked strictly before writers start stalling.
+// cleaner-only reserve by the most segments outstanding work can
+// consume before the next epilogue: two in-flight buffer flushes plus
+// the whole admitted-but-unflushed budget a group commit can stage in
+// one batch (mirroring the CleanLowWater floor in withDefaults), so
+// the hard reserve check in advanceSegment — which cannot block — is
+// never hit by a writer that respected the epilogue stall.
+// withDefaults guarantees CleanLowWater exceeds this, so the cleaner
+// is always kicked strictly before writers start stalling.
 func (fs *FS) bgStallThreshold() int {
-	return reserveSegments + 2*fs.opts.WriteBufferBlocks/fs.opts.SegmentBlocks
+	return reserveSegments +
+		(fs.opts.AdmitBudgetBlocks+2*fs.opts.WriteBufferBlocks)/fs.opts.SegmentBlocks
 }
 
 // waitForCleanSegments blocks a writer whose epilogue found the pool

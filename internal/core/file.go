@@ -145,10 +145,62 @@ func (fs *FS) readAt(mi *mInode, off int64, buf []byte) (int, error) {
 	return total, nil
 }
 
+// preparedWrite carries the block-aligned body of a WriteAt payload,
+// chopped into private block buffers outside fs.mu (prepareWrite), so
+// the staging critical section installs ready-made buffers instead of
+// allocating and copying under the lock.
+type preparedWrite struct {
+	base uint32   // block number of blks[0]
+	blks [][]byte // one full private buffer per fully-covered block
+}
+
+// prepareWrite copies every fully-covered block of the write into its
+// own block-sized buffer. It touches no file system state and may run
+// before fs.mu is taken. Returns nil when no block is fully covered.
+func prepareWrite(off int64, data []byte) *preparedWrite {
+	if off < 0 {
+		return nil
+	}
+	end := off + int64(len(data))
+	first := (off + layout.BlockSize - 1) / layout.BlockSize // first aligned block
+	last := end / layout.BlockSize                           // one past the last full block
+	if last <= first {
+		return nil
+	}
+	p := &preparedWrite{base: uint32(first), blks: make([][]byte, last-first)}
+	for i := range p.blks {
+		blk := make([]byte, layout.BlockSize)
+		src := (first+int64(i))*layout.BlockSize - off
+		copy(blk, data[src:])
+		p.blks[i] = blk
+	}
+	return p
+}
+
+// take surrenders the prepared buffer for block bn, or nil when the
+// block was not prepared (or was already consumed).
+func (p *preparedWrite) take(bn uint32) []byte {
+	if p == nil || bn < p.base || bn >= p.base+uint32(len(p.blks)) {
+		return nil
+	}
+	blk := p.blks[bn-p.base]
+	p.blks[bn-p.base] = nil
+	return blk
+}
+
 // writeAt writes data into the file at off, extending it as needed. The
 // modification is buffered in the file cache; a log flush happens when the
 // write buffer fills (the paper's asynchronous write behaviour).
 func (fs *FS) writeAt(mi *mInode, off int64, data []byte) (int, error) {
+	return fs.writeAtPrepared(mi, off, data, nil)
+}
+
+// writeAtPrepared is writeAt with an optional preparedWrite holding the
+// payload's full blocks, pre-copied outside fs.mu by the public entry
+// points. The returned count always equals the bytes staged in the file
+// cache, including on error — what a later successful flush makes
+// durable.
+func (fs *FS) writeAtPrepared(mi *mInode, off int64, data []byte, prep *preparedWrite) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("%w: negative offset", ErrBadPath)
 	}
@@ -167,6 +219,7 @@ func (fs *FS) writeAt(mi *mInode, off int64, data []byte) (int, error) {
 		}
 		key := blockKey{inum, bn}
 		blk, dirty := fs.dcache[key]
+		copied := false
 		if !dirty {
 			// Read-modify-write for partial blocks that already exist.
 			var err error
@@ -178,6 +231,10 @@ func (fs *FS) writeAt(mi *mInode, off int64, data []byte) (int, error) {
 				cp := make([]byte, layout.BlockSize)
 				copy(cp, blk)
 				blk = cp
+			} else if pb := prep.take(bn); pb != nil {
+				// Fully-overwritten block with its payload already copied
+				// in outside the lock.
+				blk, copied = pb, true
 			} else {
 				blk = make([]byte, layout.BlockSize)
 			}
@@ -189,7 +246,9 @@ func (fs *FS) writeAt(mi *mInode, off int64, data []byte) (int, error) {
 				return total, err
 			}
 		}
-		copy(blk[inBlock:], data[:n])
+		if !copied {
+			copy(blk[inBlock:], data[:n])
+		}
 		data = data[n:]
 		off += int64(n)
 		total += n

@@ -148,6 +148,39 @@ type FS struct {
 	// fs.readers.* gauges.
 	readersNow atomic.Int64
 
+	// Transaction-grouped log admission (admit.go). stageSeq counts
+	// completed mutating operations; flushedSeq is the stageSeq value
+	// the last successful flush covered — the operations between two
+	// flushes form a commit epoch. stagedEst is a lock-free estimate of
+	// staged-but-unflushed blocks, refreshed under fs.mu and read by
+	// the admission gate. admitOpen (guarded by admitMu) is the total
+	// worst-case budget of admitted, unfinished operations; admitCap is
+	// the gate capacity (Options.AdmitBudgetBlocks, fixed at mount).
+	// The commit* fields (guarded by commitMu) are the group-commit
+	// goroutine's request queue and lifecycle.
+	stageSeq    atomic.Uint64
+	flushedSeq  atomic.Uint64
+	stagedEst   atomic.Int64
+	admitWaits  atomic.Int64
+	admitOps    atomic.Int64
+	admitMu     sync.Mutex
+	admitCond   *sync.Cond
+	admitOpen   int
+	admitCap    int
+	admitClosed bool
+	// admitFlushErr (guarded by admitMu) is the last failed commit
+	// attempt; while set, the gate admits unconditionally so writers
+	// observe the failure inline instead of waiting on a backlog that
+	// cannot drain. Cleared by the next successful flush.
+	admitFlushErr error
+
+	commitMu      sync.Mutex
+	commitCond    *sync.Cond
+	commitQueue   []commitReq
+	commitActive  bool
+	commitStopped bool
+	commitDone    chan struct{}
+
 	// Media-fault state (fault.go). blockSums is the in-memory index of
 	// per-block checksums from segment summaries, for verify-on-read;
 	// sumsLoaded marks segments whose on-disk summary chain has already
@@ -236,6 +269,7 @@ func Format(dev *disk.Disk, opts Options) (*FS, error) {
 		return nil, err
 	}
 	fs.startCleaner()
+	fs.startCommitter()
 	return fs, nil
 }
 
@@ -265,6 +299,9 @@ func newFS(dev *disk.Disk, opts Options, sb *layout.Superblock) *FS {
 		quarantined:     make(map[int64]bool),
 	}
 	fs.spaceCond = sync.NewCond(&fs.mu)
+	fs.admitCond = sync.NewCond(&fs.admitMu)
+	fs.commitCond = sync.NewCond(&fs.commitMu)
+	fs.admitCap = opts.AdmitBudgetBlocks
 	if opts.ReadCacheBlocks > 0 {
 		fs.rcache = make(map[int64][]byte)
 		fs.rcacheDead = make(map[int64]int)
@@ -280,7 +317,12 @@ func newFS(dev *disk.Disk, opts Options, sb *layout.Superblock) *FS {
 	return fs
 }
 
-// Options returns the effective options the file system is running with.
+// Options returns the effective options the file system is running
+// with. The copy is safe to mutate: every sizing and policy field is a
+// value, and the three reference fields — Tracer, NVRAM and Clock —
+// are intentionally shared handles (reassigning them in the copy has
+// no effect on the mounted file system, and nothing reachable through
+// them lets a caller reconfigure it). See TestOptionsCopyIsIsolated.
 func (fs *FS) Options() Options { return fs.opts }
 
 // Superblock returns a copy of the on-disk superblock.
@@ -296,7 +338,10 @@ func (fs *FS) SegmentBytes() int64 { return fs.segBytes }
 func (fs *FS) Stats() Stats {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	return fs.stats
+	st := fs.stats
+	st.AdmitWaits = fs.admitWaits.Load()
+	st.AdmitOps = fs.admitOps.Load()
+	return st
 }
 
 // ResetStats zeroes the accumulated statistics.
@@ -304,6 +349,8 @@ func (fs *FS) ResetStats() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.stats = Stats{}
+	fs.admitWaits.Store(0)
+	fs.admitOps.Store(0)
 }
 
 // Tracer returns the attached observability tracer (nil when tracing
@@ -539,9 +586,14 @@ func (fs *FS) allocInum() (uint32, error) {
 }
 
 // Unmount checkpoints the file system and marks it unusable. The
-// background cleaner, if one is running, is stopped and joined first.
+// background cleaner and the group committer, if running, are stopped
+// and joined first — joining the committer serves every in-flight
+// commit epoch, so no parked Sync is abandoned — and the admission
+// gate is opened so blocked admitters fail fast on the mounted check.
 func (fs *FS) Unmount() error {
 	fs.stopCleaner()
+	fs.stopCommitter()
+	fs.admitClose()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	// Writers stalled behind the (now stopped) cleaner must re-check
@@ -565,17 +617,27 @@ func (fs *FS) Unmount() error {
 }
 
 // Sync flushes all buffered modifications to the log (without writing a
-// checkpoint).
+// checkpoint). It parks on the commit of the epoch the caller's
+// operations joined: when the group committer is running, N concurrent
+// Sync callers share one log flush, and a Sync whose epoch an earlier
+// flush already covered returns without taking fs.mu.Lock at all.
 func (fs *FS) Sync() error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
 	if !fs.mounted {
+		fs.mu.RUnlock()
 		return ErrUnmounted
 	}
 	if err := fs.failIfDegraded(); err != nil {
+		fs.mu.RUnlock()
 		return err
 	}
-	return fs.flushLog()
+	want := fs.stageSeq.Load()
+	covered := fs.flushedSeq.Load() >= want && !fs.checkpointDue()
+	fs.mu.RUnlock()
+	if covered {
+		return nil
+	}
+	return fs.requestCommit(want)
 }
 
 // Checkpoint flushes all state and writes a checkpoint region, creating a
@@ -635,8 +697,8 @@ func (fs *FS) CleanIdle(budget int) error {
 	if p := len(fs.pendingClean); p > budget {
 		target = len(fs.freeSegs) + p
 	}
-	if max := int(fs.nsegs) - 1; target > max {
-		target = max
+	if limit := int(fs.nsegs) - 1; target > limit {
+		target = limit
 	}
 	return fs.cleanUntil(target)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -93,8 +94,8 @@ func (fs *FS) flushPending() error {
 			continue
 		}
 		n := len(fs.pending)
-		if max := int(space) - 1; n > max {
-			n = max
+		if room := int(space) - 1; n > room {
+			n = room
 		}
 		if n > layout.MaxSummaryEntries {
 			n = layout.MaxSummaryEntries
@@ -252,6 +253,44 @@ func (fs *FS) flushLog() error {
 	if err := fs.failIfDegraded(); err != nil {
 		return err
 	}
+	if err := fs.flushStages(); err != nil {
+		// A failed flush tears the in-memory staging state: the batch
+		// being written was already placed (block pointers and usage
+		// accounting reference addresses that now hold garbage) and is
+		// no longer queued anywhere, so a retry would trivially
+		// "succeed" and claim durability for data that never reached
+		// the disk. Degrade (sticky read-only) so the torn state can
+		// never be flushed or checkpointed; the on-disk image up to the
+		// last completed write stays valid and recovers on remount.
+		// ErrNoSpace is the exception: it is raised before the current
+		// batch is placed, the staged blocks all remain queued, and the
+		// flush is retryable once the cleaner frees segments.
+		if !errors.Is(err, ErrNoSpace) {
+			fs.degrade(fmt.Sprintf("log flush failed with staged state partially placed: %v", err))
+		}
+		return err
+	}
+	fs.dirtyBlocks = 0
+	// Everything acknowledged so far is now recoverable by roll-forward,
+	// so the NVRAM redo records are no longer needed.
+	fs.nvClear()
+	// Close the commit epoch: every operation completed before this
+	// flush is durable (up to roll-forward), so Sync callers whose
+	// epoch this covers are satisfied. A flush that runs in the middle
+	// of an operation (writeAt's buffer-full flush) does not cover that
+	// operation — stageSeq is only bumped at operation end.
+	fs.flushedSeq.Store(fs.stageSeq.Load())
+	fs.admitFlushed()
+	if fs.checkpointDue() && !fs.inCheckpoint() {
+		return fs.checkpointLocked()
+	}
+	return nil
+}
+
+// flushStages runs the staging pipeline and the partial-segment writes
+// of one log flush. On error the caller must treat the staging state as
+// torn (see flushLog) unless the error is ErrNoSpace.
+func (fs *FS) flushStages() error {
 	if err := fs.stageDirOps(); err != nil {
 		return err
 	}
@@ -264,18 +303,7 @@ func (fs *FS) flushLog() error {
 	if err := fs.stageInodeBlocks(); err != nil {
 		return err
 	}
-	if err := fs.flushPending(); err != nil {
-		return err
-	}
-	fs.dirtyBlocks = 0
-	// Everything acknowledged so far is now recoverable by roll-forward,
-	// so the NVRAM redo records are no longer needed.
-	fs.nvClear()
-	if fs.opts.CheckpointEveryBytes > 0 && fs.bytesSinceCp >= fs.opts.CheckpointEveryBytes &&
-		!fs.inCheckpoint() {
-		return fs.checkpointLocked()
-	}
-	return nil
+	return fs.flushPending()
 }
 
 // inCheckpoint reports whether a checkpoint is already in progress (the

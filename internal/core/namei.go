@@ -182,12 +182,43 @@ func (fs *FS) logDirOp(op *layout.DirOp) {
 	fs.pendingOps = append(fs.pendingOps, op)
 }
 
+// mutate runs the in-memory mutation phase of a directory-modifying
+// operation. The phase is written so that everything fallible — path
+// resolution, directory and inode loads, block-map preloads — happens
+// before its first logDirOp; if it nevertheless fails after logging a
+// record (a disk fault or out-of-space inside saveDir's inline flush),
+// the in-memory state is half-applied and must never be flushed or
+// checkpointed, so the file system drops into sticky degraded
+// read-only mode: reads keep working, the torn state dies in memory,
+// and the next mount recovers the last consistent on-disk state.
+func (fs *FS) mutate(f func() error) error {
+	before := fs.dirLogSeq
+	err := f()
+	if err != nil && fs.dirLogSeq != before {
+		fs.degrade(fmt.Sprintf("operation failed after logging %d directory-op record(s): %v",
+			fs.dirLogSeq-before, err))
+	}
+	return err
+}
+
+// preloadBlockMap faults the file's indirect blocks into the in-memory
+// inode so that a subsequent truncate or removal cannot fail on a disk
+// read after the operation's directory-op record has been logged.
+func (fs *FS) preloadBlockMap(mi *mInode) error {
+	return fs.forEachBlockAddr(mi, func(uint32, int64) error { return nil })
+}
+
 // createNode allocates an inode of the given type and links it into dir.
+// All fallible loads precede the first mutation (see mutate).
 func (fs *FS) createNode(dirInum uint32, name string, typ uint8) (uint32, error) {
-	if _, exists, err := fs.lookup(dirInum, name); err != nil {
+	entries, err := fs.loadDir(dirInum)
+	if err != nil {
 		return 0, err
-	} else if exists {
-		return 0, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	for _, e := range entries {
+		if e.Name == name {
+			return 0, fmt.Errorf("%w: %q", ErrExists, name)
+		}
 	}
 	inum, err := fs.allocInum()
 	if err != nil {
@@ -208,10 +239,6 @@ func (fs *FS) createNode(dirInum uint32, name string, typ uint8) (uint32, error)
 	}
 
 	fs.logDirOp(&layout.DirOp{Op: layout.DirOpCreate, Dir: dirInum, Name: name, Inum: inum, Version: version, NewNlink: 1})
-	entries, err := fs.loadDir(dirInum)
-	if err != nil {
-		return 0, err
-	}
 	entries = append(entries, layout.DirEntry{Inum: inum, Name: name})
 	if err := fs.saveDir(dirInum, entries); err != nil {
 		return 0, err
@@ -222,6 +249,8 @@ func (fs *FS) createNode(dirInum uint32, name string, typ uint8) (uint32, error)
 
 // Create makes an empty regular file.
 func (fs *FS) Create(path string) error {
+	release := fs.opAdmit(opBudgetDirOp)
+	defer release()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -230,13 +259,17 @@ func (fs *FS) Create(path string) error {
 	if err := fs.failIfDegraded(); err != nil {
 		return err
 	}
+	defer fs.opStaged()
 	defer fs.traceOp("create")()
 	fs.tick()
 	dir, name, err := fs.resolveParent(path)
 	if err != nil {
 		return err
 	}
-	if _, err := fs.createNode(dir, name, layout.FileTypeRegular); err != nil {
+	if err := fs.mutate(func() error {
+		_, err := fs.createNode(dir, name, layout.FileTypeRegular)
+		return err
+	}); err != nil {
 		return err
 	}
 	if err := fs.nvLog(nvRecord{kind: nvCreate, path: path}); err != nil {
@@ -247,6 +280,8 @@ func (fs *FS) Create(path string) error {
 
 // Mkdir makes an empty directory.
 func (fs *FS) Mkdir(path string) error {
+	release := fs.opAdmit(opBudgetDirOp)
+	defer release()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -255,13 +290,17 @@ func (fs *FS) Mkdir(path string) error {
 	if err := fs.failIfDegraded(); err != nil {
 		return err
 	}
+	defer fs.opStaged()
 	defer fs.traceOp("mkdir")()
 	fs.tick()
 	dir, name, err := fs.resolveParent(path)
 	if err != nil {
 		return err
 	}
-	if _, err := fs.createNode(dir, name, layout.FileTypeDir); err != nil {
+	if err := fs.mutate(func() error {
+		_, err := fs.createNode(dir, name, layout.FileTypeDir)
+		return err
+	}); err != nil {
 		return err
 	}
 	if err := fs.nvLog(nvRecord{kind: nvMkdir, path: path}); err != nil {
@@ -271,8 +310,15 @@ func (fs *FS) Mkdir(path string) error {
 }
 
 // WriteAt writes data into the file at path at the given offset, creating
-// nothing: the file must exist.
+// nothing: the file must exist. The returned count is the number of bytes
+// actually staged in the file cache — on a mid-operation flush failure it
+// reflects exactly what a later successful Sync would make durable.
 func (fs *FS) WriteAt(path string, off int64, data []byte) (int, error) {
+	release := fs.opAdmit(writeBudget(len(data)))
+	defer release()
+	// Chop the block-aligned body into private buffers outside fs.mu, so
+	// the staging critical section installs pointers instead of copying.
+	prep := prepareWrite(off, data)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -281,13 +327,14 @@ func (fs *FS) WriteAt(path string, off int64, data []byte) (int, error) {
 	if err := fs.failIfDegraded(); err != nil {
 		return 0, err
 	}
+	defer fs.opStaged()
 	defer fs.traceOp("write")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
 	if err != nil {
 		return 0, err
 	}
-	n, err := fs.writeAt(mi, off, data)
+	n, err := fs.writeAtPrepared(mi, off, data, prep)
 	if err != nil {
 		return n, err
 	}
@@ -301,6 +348,9 @@ func (fs *FS) WriteAt(path string, off int64, data []byte) (int, error) {
 // WriteFile replaces the file's contents with data, creating the file if
 // needed (a convenience combining Create, Truncate and WriteAt).
 func (fs *FS) WriteFile(path string, data []byte) error {
+	release := fs.opAdmit(opBudgetDirOp + writeBudget(len(data)))
+	defer release()
+	prep := prepareWrite(0, data)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -309,8 +359,12 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 	if err := fs.failIfDegraded(); err != nil {
 		return err
 	}
+	defer fs.opStaged()
 	defer fs.traceOp("write")()
 	fs.tick()
+	if int64(len(data)) > int64(layout.MaxFileBlocks)*layout.BlockSize {
+		return ErrFileTooBig
+	}
 	dir, name, err := fs.resolveParent(path)
 	if err != nil {
 		return err
@@ -320,7 +374,15 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 		return err
 	}
 	if !exists {
-		if inum, err = fs.createNode(dir, name, layout.FileTypeRegular); err != nil {
+		// The create is the only part that logs a directory op; the
+		// truncate and write below mutate file content only, so their
+		// failure leaves a valid (if partially written) file, not a
+		// half-applied namespace change.
+		if err := fs.mutate(func() error {
+			var cerr error
+			inum, cerr = fs.createNode(dir, name, layout.FileTypeRegular)
+			return cerr
+		}); err != nil {
 			return err
 		}
 	}
@@ -331,11 +393,16 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 	if mi.ino.Type == layout.FileTypeDir {
 		return ErrIsDir
 	}
+	// Fault the block map in before the truncate so the shrink cannot
+	// fail on a disk read halfway through releasing blocks.
+	if err := fs.preloadBlockMap(mi); err != nil {
+		return err
+	}
 	if err := fs.truncate(mi, 0); err != nil {
 		return err
 	}
 	if len(data) > 0 {
-		if _, err := fs.writeAt(mi, 0, data); err != nil {
+		if _, err := fs.writeAtPrepared(mi, 0, data, prep); err != nil {
 			return err
 		}
 	}
@@ -420,6 +487,8 @@ func (fs *FS) resolveFile(path string) (*mInode, error) {
 
 // Truncate sets the file's size.
 func (fs *FS) Truncate(path string, size int64) error {
+	release := fs.opAdmit(opBudgetTruncate)
+	defer release()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -428,6 +497,7 @@ func (fs *FS) Truncate(path string, size int64) error {
 	if err := fs.failIfDegraded(); err != nil {
 		return err
 	}
+	defer fs.opStaged()
 	defer fs.traceOp("truncate")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
@@ -498,6 +568,8 @@ func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
 
 // Link creates a new hard link newPath referring to the file at oldPath.
 func (fs *FS) Link(oldPath, newPath string) error {
+	release := fs.opAdmit(opBudgetDirOp)
+	defer release()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -506,9 +578,12 @@ func (fs *FS) Link(oldPath, newPath string) error {
 	if err := fs.failIfDegraded(); err != nil {
 		return err
 	}
+	defer fs.opStaged()
 	defer fs.traceOp("link")()
 	fs.tick()
-	if err := fs.linkLocked(oldPath, newPath); err != nil {
+	if err := fs.mutate(func() error {
+		return fs.linkLocked(oldPath, newPath)
+	}); err != nil {
 		return err
 	}
 	if err := fs.nvLog(nvRecord{kind: nvLink, path: oldPath, path2: newPath}); err != nil {
@@ -517,6 +592,7 @@ func (fs *FS) Link(oldPath, newPath string) error {
 	return fs.epilogue()
 }
 
+// linkLocked loads everything fallible before its logDirOp (see mutate).
 func (fs *FS) linkLocked(oldPath, newPath string) error {
 	mi, err := fs.resolveFile(oldPath)
 	if err != nil {
@@ -526,25 +602,27 @@ func (fs *FS) linkLocked(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	if _, exists, err := fs.lookup(dir, name); err != nil {
+	entries, err := fs.loadDir(dir)
+	if err != nil {
 		return err
-	} else if exists {
-		return fmt.Errorf("%w: %q", ErrExists, newPath)
+	}
+	for _, e := range entries {
+		if e.Name == name {
+			return fmt.Errorf("%w: %q", ErrExists, newPath)
+		}
 	}
 	inum := mi.ino.Inum
 	mi.ino.Nlink++
 	fs.markInodeDirty(inum)
 	fs.logDirOp(&layout.DirOp{Op: layout.DirOpLink, Dir: dir, Name: name, Inum: inum, Version: mi.ino.Version, NewNlink: mi.ino.Nlink})
-	entries, err := fs.loadDir(dir)
-	if err != nil {
-		return err
-	}
 	entries = append(entries, layout.DirEntry{Inum: inum, Name: name})
 	return fs.saveDir(dir, entries)
 }
 
 // Remove unlinks the file or empty directory at path.
 func (fs *FS) Remove(path string) error {
+	release := fs.opAdmit(opBudgetDirOp)
+	defer release()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -553,6 +631,7 @@ func (fs *FS) Remove(path string) error {
 	if err := fs.failIfDegraded(); err != nil {
 		return err
 	}
+	defer fs.opStaged()
 	defer fs.traceOp("delete")()
 	fs.tick()
 	dir, name, err := fs.resolveParent(path)
@@ -566,7 +645,9 @@ func (fs *FS) Remove(path string) error {
 	if !exists {
 		return fmt.Errorf("%w: %q", ErrNotFound, path)
 	}
-	if err := fs.unlinkLocked(dir, name, inum); err != nil {
+	if err := fs.mutate(func() error {
+		return fs.unlinkLocked(dir, name, inum)
+	}); err != nil {
 		return err
 	}
 	if err := fs.nvLog(nvRecord{kind: nvRemove, path: path}); err != nil {
@@ -576,7 +657,9 @@ func (fs *FS) Remove(path string) error {
 }
 
 // unlinkLocked removes the (dir, name) entry and drops one reference from
-// inum, deleting the file when the count reaches zero.
+// inum, deleting the file when the count reaches zero. All fallible loads
+// — including the block-map walk a deletion will need — happen before the
+// logDirOp (see mutate).
 func (fs *FS) unlinkLocked(dir uint32, name string, inum uint32) error {
 	mi, err := fs.loadInode(inum)
 	if err != nil {
@@ -591,12 +674,17 @@ func (fs *FS) unlinkLocked(dir uint32, name string, inum uint32) error {
 			return fmt.Errorf("%w: %q", ErrNotEmpty, name)
 		}
 	}
-	newNlink := mi.ino.Nlink - 1
-	fs.logDirOp(&layout.DirOp{Op: layout.DirOpUnlink, Dir: dir, Name: name, Inum: inum, Version: mi.ino.Version, NewNlink: newNlink})
 	entries, err := fs.loadDir(dir)
 	if err != nil {
 		return err
 	}
+	newNlink := mi.ino.Nlink - 1
+	if newNlink == 0 {
+		if err := fs.preloadBlockMap(mi); err != nil {
+			return err
+		}
+	}
+	fs.logDirOp(&layout.DirOp{Op: layout.DirOpUnlink, Dir: dir, Name: name, Inum: inum, Version: mi.ino.Version, NewNlink: newNlink})
 	for i, e := range entries {
 		if e.Name == name {
 			entries = append(entries[:i], entries[i+1:]...)
@@ -618,6 +706,8 @@ func (fs *FS) unlinkLocked(dir uint32, name string, inum uint32) error {
 // target if one exists. The directory operation log makes the operation
 // atomic across crashes (Section 4.2).
 func (fs *FS) Rename(oldPath, newPath string) error {
+	release := fs.opAdmit(opBudgetRename)
+	defer release()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -626,9 +716,12 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	if err := fs.failIfDegraded(); err != nil {
 		return err
 	}
+	defer fs.opStaged()
 	defer fs.traceOp("rename")()
 	fs.tick()
-	if err := fs.renameLocked(oldPath, newPath); err != nil {
+	if err := fs.mutate(func() error {
+		return fs.renameLocked(oldPath, newPath)
+	}); err != nil {
 		return err
 	}
 	if err := fs.nvLog(nvRecord{kind: nvRename, path: oldPath, path2: newPath}); err != nil {
@@ -637,6 +730,11 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	return fs.epilogue()
 }
 
+// renameLocked resolves and loads everything both halves of the rename
+// (the target unlink and the move itself) will touch before the first
+// logDirOp, so no disk read can fail between the two records (see
+// mutate). The later loadDir calls hit the directory cache, which never
+// evicts.
 func (fs *FS) renameLocked(oldPath, newPath string) error {
 	oldDir, oldName, err := fs.resolveParent(oldPath)
 	if err != nil {
@@ -653,9 +751,19 @@ func (fs *FS) renameLocked(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	if target, exists, err := fs.lookup(newDir, newName); err != nil {
+	mi, err := fs.loadInode(inum)
+	if err != nil {
 		return err
-	} else if exists {
+	}
+	if _, err := fs.loadDir(oldDir); err != nil {
+		return err
+	}
+	if _, err := fs.loadDir(newDir); err != nil {
+		return err
+	}
+	if target, hasTarget, err := fs.lookup(newDir, newName); err != nil {
+		return err
+	} else if hasTarget {
 		if target == inum && oldDir == newDir && oldName == newName {
 			return nil
 		}
@@ -669,10 +777,6 @@ func (fs *FS) renameLocked(oldPath, newPath string) error {
 		if err := fs.unlinkLocked(newDir, newName, target); err != nil {
 			return err
 		}
-	}
-	mi, err := fs.loadInode(inum)
-	if err != nil {
-		return err
 	}
 	fs.logDirOp(&layout.DirOp{
 		Op: layout.DirOpRename, Dir: oldDir, Name: oldName,

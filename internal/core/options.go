@@ -70,6 +70,19 @@ type Options struct {
 	// Larger buffers batch more blocks per log write; smaller buffers
 	// model NFS-like eager write-back.
 	WriteBufferBlocks int
+	// AdmitBudgetBlocks sizes the write admission gate: the total
+	// worst-case block budget of admitted-but-unflushed mutating
+	// operations (default: 2*WriteBufferBlocks). A writer whose budget
+	// does not fit blocks outside fs.mu until the group committer
+	// drains the staged backlog. Individual budgets are clamped to half
+	// the gate so two maximal writers can always interleave.
+	AdmitBudgetBlocks int
+	// NoGroupCommit disables the group-commit goroutine: every Sync
+	// flushes inline under fs.mu, one flush per caller, as in the
+	// serialized write path. Off by default — group commit lets N
+	// concurrent syncers share one log append; with a single writer the
+	// two paths produce identical disk traffic.
+	NoGroupCommit bool
 	// CheckpointEveryBytes forces a checkpoint after this much new data
 	// has been logged (0 disables; Section 4.1 discusses this policy as
 	// the alternative to fixed intervals). Unmount always checkpoints.
@@ -131,13 +144,19 @@ func (o Options) withDefaults() Options {
 	if o.WriteBufferBlocks == 0 {
 		o.WriteBufferBlocks = o.SegmentBlocks
 	}
+	if o.AdmitBudgetBlocks == 0 {
+		o.AdmitBudgetBlocks = 2 * o.WriteBufferBlocks
+	}
 	if o.CleanLowWater == 0 {
 		o.CleanLowWater = 16
 	}
 	// Cleaning must start before ordinary writes hit the cleaner-only
-	// segment reserve, with margin for two in-flight buffer flushes.
-	if min := reserveSegments + 2 + 2*o.WriteBufferBlocks/o.SegmentBlocks; o.CleanLowWater < min {
-		o.CleanLowWater = min
+	// segment reserve, with margin for two in-flight buffer flushes
+	// plus the whole admitted-but-unflushed budget a group commit can
+	// stage in one batch.
+	if floor := reserveSegments + 2 +
+		(o.AdmitBudgetBlocks+2*o.WriteBufferBlocks)/o.SegmentBlocks; o.CleanLowWater < floor {
+		o.CleanLowWater = floor
 	}
 	if o.CleanHighWater == 0 {
 		o.CleanHighWater = 32

@@ -204,6 +204,7 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 		return nil, err
 	}
 	fs.startCleaner()
+	fs.startCommitter()
 	return fs, nil
 }
 

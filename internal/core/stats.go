@@ -54,6 +54,19 @@ type Stats struct {
 	// WriterStallNanos accumulates host wall-clock time (not simulated
 	// disk time) spent in those stalls.
 	WriterStallNanos int64
+
+	// AdmitOps counts mutating operations admitted through the write
+	// admission gate; AdmitWaits counts the subset that blocked at the
+	// gate waiting for the staged backlog to drain.
+	AdmitOps   int64
+	AdmitWaits int64
+	// GroupCommits counts log flushes executed by the group-commit
+	// goroutine; GroupCommitSyncs counts the Sync callers those batches
+	// served (GroupCommitSyncs/GroupCommits is the amortization factor).
+	// GroupCommitMaxSyncs is the largest single batch.
+	GroupCommits        int64
+	GroupCommitSyncs    int64
+	GroupCommitMaxSyncs int64
 }
 
 // WriteCost returns the paper's write-cost metric: total bytes moved to

@@ -91,6 +91,26 @@ const (
 	CtrCleanerBgPasses = "cleaner.bg.passes"
 )
 
+// Admission-gate and group-commit counters, recorded by the
+// transaction-grouped write path.
+const (
+	// CtrAdmitOps counts mutating operations admitted through the write
+	// admission gate.
+	CtrAdmitOps = "fs.admit.ops"
+	// CtrAdmitWaits counts operations that blocked at the admission gate
+	// waiting for the staged backlog to drain.
+	CtrAdmitWaits = "fs.admit.waits"
+	// CtrGroupCommits counts log flushes executed by the group-commit
+	// goroutine.
+	CtrGroupCommits = "fs.commit.groups"
+	// CtrGroupCommitSyncs counts Sync callers served by group commits;
+	// divide by CtrGroupCommits for the amortization factor.
+	CtrGroupCommitSyncs = "fs.commit.syncs"
+	// CtrGroupCommitMaxSyncs is the largest number of Sync callers one
+	// group commit served.
+	CtrGroupCommitMaxSyncs = "fs.commit.syncs.max"
+)
+
 // Media-fault counters, recorded by the verify-on-read pipeline, the
 // cleaner's pre-copy verification, scrub, and the degraded-mode switch.
 const (
@@ -122,6 +142,15 @@ const (
 // phenomenon of the concurrent lock discipline, not of the simulated
 // device.
 const HistWriterStall = "fs.writer.stall"
+
+// HistAdmitWait is the latency histogram of admission-gate waits, in
+// host wall-clock time for the same reason as HistWriterStall.
+const HistAdmitWait = "fs.admit.wait"
+
+// HistGroupCommit is the latency histogram of group-commit flushes, in
+// simulated disk time: it is the device cost of one batched log append,
+// the quantity the group amortizes across its Sync callers.
+const HistGroupCommit = "fs.commit.flush"
 
 // OpHistPrefix prefixes the per-operation latency histogram names
 // ("op.create", "op.read", "op.write", "op.delete", ...).

@@ -137,10 +137,15 @@ type benchSnapshot struct {
 	Quick       bool                      `json:"quick"`
 	Seed        int64                     `json:"seed"`
 	GroupCommit []bench.GroupCommitResult `json:"groupcommit"`
+	NVSync      []bench.NVSyncResult      `json:"nvsync"`
 }
 
 func writeSnapshot(cfg bench.Config, path string) error {
 	results, err := bench.RunGroupCommitResults(cfg)
+	if err != nil {
+		return err
+	}
+	nvResults, err := bench.RunNVSyncResults(cfg)
 	if err != nil {
 		return err
 	}
@@ -150,6 +155,7 @@ func writeSnapshot(cfg bench.Config, path string) error {
 		Quick:       cfg.Quick,
 		Seed:        cfg.Seed,
 		GroupCommit: results,
+		NVSync:      nvResults,
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -229,7 +229,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"table2", "table3", "table4",
 		"ablation-policy", "ablation-agesort", "ablation-segsize",
 		"ablation-checkpoint", "ablation-writebuffer", "ablation-thresholds",
-		"ablation-cleanread", "bgclean", "groupcommit",
+		"ablation-cleanread", "bgclean", "groupcommit", "nvsync",
 	}
 	have := map[string]bool{}
 	for _, e := range Experiments() {

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{"ablation-cleanread", "whole-segment vs live-only cleaning reads", RunAblationCleanRead},
 		{"bgclean", "reader latency during cleaning: inline vs background cleaner", RunBgClean},
 		{"groupcommit", "concurrent writers: grouped vs serialized log admission", RunGroupCommit},
+		{"nvsync", "sync-per-small-file: NVRAM-absorbed vs inline durability", RunNVSync},
 	}
 }
 

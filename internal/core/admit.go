@@ -254,6 +254,24 @@ func (fs *FS) drainBacklog() bool {
 	return fs.flushLog() == nil
 }
 
+// kickCommitAsync enqueues a pressure kick for the group committer
+// without waiting on the result: the NVRAM absorb path uses it to let
+// the disk catch up to the NVRAM commit epoch in the background. Safe
+// to call with fs.mu held (commitMu nests inside fs.mu) and from the
+// Sync read path. A no-op when the committer is not running
+// (NoGroupCommit, or Unmount already stopped it) — those modes flush at
+// the hard backpressure point (a full NVRAM) instead.
+func (fs *FS) kickCommitAsync(want uint64) {
+	fs.commitMu.Lock()
+	if fs.commitActive && !fs.commitStopped {
+		fs.commitQueue = append(fs.commitQueue, commitReq{want: want})
+		fs.commitCond.Signal()
+		fs.nvKicks.Add(1)
+		fs.tr.Add(obs.CtrNVAsyncKicks, 1)
+	}
+	fs.commitMu.Unlock()
+}
+
 // requestCommit parks the caller until flushedSeq covers want. When the
 // committer is running the request joins the current group; otherwise
 // (NoGroupCommit, or an Unmount already stopped the committer) it

@@ -158,11 +158,24 @@ type FS struct {
 	// the gate capacity (Options.AdmitBudgetBlocks, fixed at mount).
 	// The commit* fields (guarded by commitMu) are the group-commit
 	// goroutine's request queue and lifecycle.
-	stageSeq    atomic.Uint64
-	flushedSeq  atomic.Uint64
-	stagedEst   atomic.Int64
-	admitWaits  atomic.Int64
-	admitOps    atomic.Int64
+	stageSeq   atomic.Uint64
+	flushedSeq atomic.Uint64
+	stagedEst  atomic.Int64
+	admitWaits atomic.Int64
+	admitOps   atomic.Int64
+	// nvSeq is the NVRAM durability epoch (Options.NVSyncAbsorb): the
+	// highest stageSeq value all of whose operations are recorded in
+	// NVRAM or already covered by a flush. flushedSeq is its disk twin;
+	// together they are the nvSeq/diskSeq pair — operations at or below
+	// max(nvSeq, flushedSeq) survive a crash when the NVRAM does, while
+	// only those at or below flushedSeq survive a fail-stop crash that
+	// loses it. Written under fs.mu (nvLog), read lock-free by Sync and
+	// Durability.
+	nvSeq atomic.Uint64
+	// nvAbsorbed / nvKicks count absorbed Syncs and async committer
+	// kicks; atomics because Sync runs under mu.RLock.
+	nvAbsorbed  atomic.Int64
+	nvKicks     atomic.Int64
 	admitMu     sync.Mutex
 	admitCond   *sync.Cond
 	admitOpen   int
@@ -341,6 +354,8 @@ func (fs *FS) Stats() Stats {
 	st := fs.stats
 	st.AdmitWaits = fs.admitWaits.Load()
 	st.AdmitOps = fs.admitOps.Load()
+	st.NVAbsorbedSyncs = fs.nvAbsorbed.Load()
+	st.NVAsyncKicks = fs.nvKicks.Load()
 	return st
 }
 
@@ -351,6 +366,19 @@ func (fs *FS) ResetStats() {
 	fs.stats = Stats{}
 	fs.admitWaits.Store(0)
 	fs.admitOps.Store(0)
+	fs.nvAbsorbed.Store(0)
+	fs.nvKicks.Store(0)
+}
+
+// Durability returns the file system's three durability epochs: staged
+// counts completed mutating operations, nv is the NVRAM commit epoch
+// (meaningful only with Options.NVSyncAbsorb), disk is the epoch the
+// last successful log flush covered. Operations at or below
+// max(nv, disk) survive a crash when the NVRAM contents do; operations
+// at or below disk survive a fail-stop crash that loses them. The crash
+// harness uses this to derive recovery floors for both arms.
+func (fs *FS) Durability() (staged, nv, disk uint64) {
+	return fs.stageSeq.Load(), fs.nvSeq.Load(), fs.flushedSeq.Load()
 }
 
 // Tracer returns the attached observability tracer (nil when tracing
@@ -616,11 +644,20 @@ func (fs *FS) Unmount() error {
 	return nil
 }
 
-// Sync flushes all buffered modifications to the log (without writing a
-// checkpoint). It parks on the commit of the epoch the caller's
-// operations joined: when the group committer is running, N concurrent
-// Sync callers share one log flush, and a Sync whose epoch an earlier
-// flush already covered returns without taking fs.mu.Lock at all.
+// Sync makes all buffered modifications durable. Without NVSyncAbsorb
+// that means flushing them to the log (no checkpoint): the caller parks
+// on the commit of the epoch its operations joined — when the group
+// committer is running, N concurrent Sync callers share one log flush,
+// and a Sync whose epoch an earlier flush already covered returns
+// without taking fs.mu.Lock at all.
+//
+// With Options.NVSyncAbsorb the NVRAM redo log is the commit point: if
+// the caller's epoch is already recorded there (nvSeq >= want), Sync
+// kicks the group committer so the disk catches up asynchronously and
+// returns at memory speed. The disk path remains the fallback for
+// epochs the NVRAM does not cover — a failed operation can leave such a
+// gap — so the durability contract is identical in both modes; only
+// where the contract is satisfied differs (NVRAM vs disk log).
 func (fs *FS) Sync() error {
 	fs.mu.RLock()
 	if !fs.mounted {
@@ -633,8 +670,15 @@ func (fs *FS) Sync() error {
 	}
 	want := fs.stageSeq.Load()
 	covered := fs.flushedSeq.Load() >= want && !fs.checkpointDue()
+	absorbed := !covered && fs.opts.NVSyncAbsorb && fs.nvSeq.Load() >= want
 	fs.mu.RUnlock()
 	if covered {
+		return nil
+	}
+	if absorbed {
+		fs.nvAbsorbed.Add(1)
+		fs.tr.Add(obs.CtrNVAbsorbedSyncs, 1)
+		fs.kickCommitAsync(want)
 		return nil
 	}
 	return fs.requestCommit(want)

@@ -147,12 +147,21 @@ func (fs *FS) flushPending() error {
 				youngest = b.age
 			}
 		}
+		// The last partial write of the flush carries the transaction-end
+		// marker: everything this flush acknowledged is on disk once this
+		// write lands. NVRAM-backed recovery uses it to discard torn
+		// flush groups atomically (see rollForwardScan).
+		var flags uint8
+		if len(fs.pending) == 0 {
+			flags = layout.SummaryFlagTxnEnd
+		}
 		summary := &layout.Summary{
 			WriteSeq:     fs.writeSeq,
 			Timestamp:    now,
 			NextSeg:      fs.nextSeg,
 			YoungestAge:  youngest,
 			DataChecksum: layout.Checksum(buf[layout.BlockSize:]),
+			Flags:        flags,
 			Entries:      entries,
 		}
 		sumBlock, err := summary.Encode()

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // NVRAM models a battery-backed write buffer (Section 2.1: "write-
@@ -13,19 +14,25 @@ import (
 // non-volatile RAM may be used for the write buffer").
 //
 // The NVRAM holds a redo log of the operations whose effects are still
-// only in the volatile file cache. Once a log flush makes those effects
-// recoverable by roll-forward, the records are discarded. After a crash,
-// mounting with the same NVRAM replays the surviving records, so no
-// acknowledged operation is lost — at the cost of the (small, bounded)
-// battery-backed memory.
+// only in the volatile file cache, stored in the wire encoding of
+// nvwire.go — the form a real board would persist. Once a log flush
+// makes those effects recoverable by roll-forward, the records are
+// discarded. After a crash, mounting with the same NVRAM replays the
+// surviving records, so no acknowledged operation is lost — at the cost
+// of the (small, bounded) battery-backed memory.
 //
 // Replays are idempotent: an operation whose effect already reached the
 // log is detected and skipped.
+//
+// With Options.NVSyncAbsorb the NVRAM is promoted from a safety net to
+// the commit point itself: Sync returns as soon as the epoch's records
+// are in NVRAM and the disk catches up asynchronously. See nvLog and
+// (*FS).Sync for the durability accounting.
 type NVRAM struct {
 	mu       sync.Mutex
 	capacity int64
-	used     int64
-	records  []nvRecord
+	buf      []byte // wire-encoded records, append order
+	count    int    // records in buf
 }
 
 type nvKind uint8
@@ -50,10 +57,6 @@ type nvRecord struct {
 	data   []byte
 }
 
-func (r *nvRecord) bytes() int64 {
-	return int64(len(r.path)+len(r.path2)+len(r.data)) + 32
-}
-
 // NewNVRAM returns an NVRAM of the given capacity in bytes. Sprite-era
 // boards held a few hundred kilobytes; anything at least as large as the
 // write buffer works well.
@@ -64,56 +67,117 @@ func NewNVRAM(capacity int64) *NVRAM {
 	return &NVRAM{capacity: capacity}
 }
 
+// Capacity returns the NVRAM size in bytes.
+func (nv *NVRAM) Capacity() int64 { return nv.capacity }
+
 // Used returns the bytes currently buffered.
 func (nv *NVRAM) Used() int64 {
 	nv.mu.Lock()
 	defer nv.mu.Unlock()
-	return nv.used
+	return int64(len(nv.buf))
 }
 
 // Pending returns how many operations are currently buffered.
 func (nv *NVRAM) Pending() int {
 	nv.mu.Lock()
 	defer nv.mu.Unlock()
-	return len(nv.records)
+	return nv.count
 }
 
-// append records an operation; it reports whether the NVRAM is now past
-// capacity (the caller flushes the log, which empties it).
-func (nv *NVRAM) append(r nvRecord) bool {
+// Bytes returns a copy of the raw encoded contents — the image a crash
+// would preserve. Pair with Restore to move NVRAM state between boards
+// (or, in tests, between crash-run replicas).
+func (nv *NVRAM) Bytes() []byte {
 	nv.mu.Lock()
 	defer nv.mu.Unlock()
-	nv.records = append(nv.records, r)
-	nv.used += r.bytes()
-	return nv.used >= nv.capacity
+	return append([]byte(nil), nv.buf...)
+}
+
+// Restore replaces the NVRAM contents with a Bytes image, validating the
+// wire encoding first so a corrupt image is rejected atomically.
+func (nv *NVRAM) Restore(buf []byte) error {
+	recs, err := decodeNVRecords(buf)
+	if err != nil {
+		return err
+	}
+	nv.mu.Lock()
+	defer nv.mu.Unlock()
+	nv.buf = append(nv.buf[:0:0], buf...)
+	nv.count = len(recs)
+	return nil
+}
+
+// append encodes and stores one record; it reports whether the NVRAM is
+// now past capacity (the caller must flush the log, which empties it)
+// and whether it is past the soft high-water mark (half full — the
+// caller should schedule an asynchronous flush so the hard wall is
+// rarely hit).
+func (nv *NVRAM) append(r nvRecord) (full, high bool) {
+	nv.mu.Lock()
+	defer nv.mu.Unlock()
+	nv.buf = appendNVRecord(nv.buf, &r)
+	nv.count++
+	used := int64(len(nv.buf))
+	return used >= nv.capacity, used*2 >= nv.capacity
 }
 
 // clear discards all records (their effects are durable in the log now).
 func (nv *NVRAM) clear() {
 	nv.mu.Lock()
 	defer nv.mu.Unlock()
-	nv.records = nil
-	nv.used = 0
+	nv.buf = nil
+	nv.count = 0
 }
 
-// snapshot returns the records for replay.
-func (nv *NVRAM) snapshot() []nvRecord {
+// snapshot decodes the buffered records for replay.
+func (nv *NVRAM) snapshot() ([]nvRecord, error) {
 	nv.mu.Lock()
 	defer nv.mu.Unlock()
-	out := make([]nvRecord, len(nv.records))
-	copy(out, nv.records)
-	return out
+	return decodeNVRecords(nv.buf)
 }
 
-// nvLog records a mutating operation in the NVRAM, if one is configured,
-// and flushes the log when the NVRAM fills. Called with fs.mu held, at
-// the end of each successful public operation.
+// nvLog records a mutating operation in the NVRAM, if one is configured.
+// Called with fs.mu held, at the end of each successful public
+// operation, before the deferred opStaged closes the operation's epoch —
+// so the operation completing now has epoch sequence stageSeq+1.
+//
+// In NVSyncAbsorb mode the NVRAM record is the commit point: nvSeq is
+// advanced to cover this operation, the group committer is kicked (non-
+// blocking) at the soft high-water mark, and only a full NVRAM forces
+// the flush inline — that inline flush is the backpressure the mode
+// promises. Without absorb the behavior is the historical one: the
+// record is a safety net and a full NVRAM still flushes inline.
 func (fs *FS) nvLog(r nvRecord) error {
 	nv := fs.opts.NVRAM
 	if nv == nil || fs.nvReplaying {
 		return nil
 	}
-	if full := nv.append(r); full {
+	full, high := nv.append(r)
+	if fs.opts.NVSyncAbsorb {
+		seq := fs.stageSeq.Load() + 1
+		// nvSeq may only advance to seq if every earlier operation is
+		// already durable (in NVRAM or covered by a flush). A failed
+		// operation can stage partial state without writing a record;
+		// the gap it leaves forces Sync back onto the disk path until a
+		// flush covers it.
+		if fs.nvSeq.Load() >= seq-1 || fs.flushedSeq.Load() >= seq-1 {
+			fs.nvSeq.Store(seq)
+		}
+		if full {
+			fs.stats.NVBackpressureFlushes++
+			fs.tr.Add(obs.CtrNVBackpressureFlushes, 1)
+			if err := fs.flushLog(); err != nil {
+				return err
+			}
+			nv.clear()
+			return nil
+		}
+		if high {
+			fs.kickCommitAsync(seq)
+		}
+		return nil
+	}
+	if full {
 		if err := fs.flushLog(); err != nil {
 			return err
 		}
@@ -139,7 +203,10 @@ func (fs *FS) replayNVRAM() error {
 	if nv == nil {
 		return nil
 	}
-	records := nv.snapshot()
+	records, err := nv.snapshot()
+	if err != nil {
+		return fmt.Errorf("nvram decode: %w", err)
+	}
 	if len(records) == 0 {
 		return nil
 	}

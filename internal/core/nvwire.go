@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// NVRAM wire format. The redo log is stored inside the NVRAM as a flat
+// byte buffer of self-delimiting records — the form a battery-backed
+// board would actually persist, and the form replayNVRAM decodes after a
+// crash. Each record is:
+//
+//	off  0  magic      (1 byte, 0x4E)
+//	off  1  kind       (1 byte, nvCreate..nvLink)
+//	off  2  path len   (uint16 LE)
+//	off  4  path2 len  (uint16 LE)
+//	off  6  data len   (uint32 LE)
+//	off 10  offset     (uint64 LE)
+//	off 18  size       (uint64 LE)
+//	off 26  checksum   (uint32 LE, over the whole record with this
+//	                    field zeroed)
+//	off 30  path bytes, then path2 bytes, then data bytes
+//
+// Decoding is defensive end to end: a record is accepted only if its
+// header is complete, its magic and kind are valid, its declared payload
+// fits inside the remaining buffer (so a hostile length can never force
+// a large allocation), and its checksum verifies. Any violation is
+// reported as ErrCorrupt — never a panic — because after a real crash
+// the NVRAM contents are exactly as trustworthy as the medium that held
+// them. FuzzNVRecordDecode drives arbitrary bytes through this path.
+
+const (
+	nvMagic     = 0x4E
+	nvHeaderLen = 30
+)
+
+// wireLen returns the encoded size of the record in bytes; it is also
+// the capacity accounting unit of NVRAM.append.
+func (r *nvRecord) wireLen() int64 {
+	return int64(nvHeaderLen + len(r.path) + len(r.path2) + len(r.data))
+}
+
+// appendNVRecord appends the wire encoding of r to buf.
+func appendNVRecord(buf []byte, r *nvRecord) []byte {
+	start := len(buf)
+	var hdr [nvHeaderLen]byte
+	hdr[0] = nvMagic
+	hdr[1] = byte(r.kind)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(r.path)))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(r.path2)))
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(len(r.data)))
+	binary.LittleEndian.PutUint64(hdr[10:], uint64(r.offset))
+	binary.LittleEndian.PutUint64(hdr[18:], uint64(r.size))
+	// Checksum field stays zero while the sum is computed.
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, r.path...)
+	buf = append(buf, r.path2...)
+	buf = append(buf, r.data...)
+	sum := layout.Checksum(buf[start:])
+	binary.LittleEndian.PutUint32(buf[start+26:], sum)
+	return buf
+}
+
+// decodeNVRecord decodes one record from the front of buf, returning the
+// record and how many bytes it consumed. The returned record's data
+// slice is a private copy, so the caller may retain it after buf is
+// reused.
+func decodeNVRecord(buf []byte) (nvRecord, int, error) {
+	var r nvRecord
+	if len(buf) < nvHeaderLen {
+		return r, 0, fmt.Errorf("%w: nvram record truncated: %d header bytes", ErrCorrupt, len(buf))
+	}
+	if buf[0] != nvMagic {
+		return r, 0, fmt.Errorf("%w: nvram record magic %#x", ErrCorrupt, buf[0])
+	}
+	kind := nvKind(buf[1])
+	if kind < nvCreate || kind > nvLink {
+		return r, 0, fmt.Errorf("%w: nvram record kind %d", ErrCorrupt, kind)
+	}
+	pathLen := int(binary.LittleEndian.Uint16(buf[2:]))
+	path2Len := int(binary.LittleEndian.Uint16(buf[4:]))
+	dataLen := int(binary.LittleEndian.Uint32(buf[6:]))
+	// Bound the payload by what is actually present before touching it:
+	// the individual lengths are attacker-controlled. The arithmetic
+	// cannot overflow (two uint16s and a uint32 widened to int64).
+	total := int64(nvHeaderLen) + int64(pathLen) + int64(path2Len) + int64(dataLen)
+	if total > int64(len(buf)) {
+		return r, 0, fmt.Errorf("%w: nvram record claims %d bytes, %d remain", ErrCorrupt, total, len(buf))
+	}
+	rec := buf[:total]
+	want := binary.LittleEndian.Uint32(rec[26:])
+	// Re-checksum with the sum field zeroed, restoring it afterwards so
+	// the caller's buffer is unchanged.
+	var zero [4]byte
+	saved := [4]byte(rec[26:30])
+	copy(rec[26:30], zero[:])
+	got := layout.Checksum(rec)
+	copy(rec[26:30], saved[:])
+	if got != want {
+		return r, 0, fmt.Errorf("%w: nvram record checksum %#x, want %#x", ErrCorrupt, got, want)
+	}
+	r.kind = kind
+	r.offset = int64(binary.LittleEndian.Uint64(rec[10:]))
+	r.size = int64(binary.LittleEndian.Uint64(rec[18:]))
+	p := nvHeaderLen
+	r.path = string(rec[p : p+pathLen])
+	p += pathLen
+	r.path2 = string(rec[p : p+path2Len])
+	p += path2Len
+	if dataLen > 0 {
+		r.data = append([]byte(nil), rec[p:p+dataLen]...)
+	}
+	return r, int(total), nil
+}
+
+// decodeNVRecords decodes a whole NVRAM image into records, in append
+// order. A short or corrupt tail fails the whole decode: unlike the
+// on-disk log, the NVRAM has no torn-write window (records are appended
+// under the file system lock), so anything unparseable means the NVRAM
+// itself is damaged and replaying a prefix could resurrect a state the
+// caller cannot distinguish from full recovery.
+func decodeNVRecords(buf []byte) ([]nvRecord, error) {
+	var out []nvRecord
+	for len(buf) > 0 {
+		r, n, err := decodeNVRecord(buf)
+		if err != nil {
+			return nil, fmt.Errorf("nvram record %d: %w", len(out), err)
+		}
+		out = append(out, r)
+		buf = buf[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzNVRecordDecode throws arbitrary bytes at the NVRAM wire decoder.
+// After a crash the NVRAM image is exactly as trustworthy as the board
+// that held it, so the decoder must never panic and never over-allocate
+// from hostile lengths; anything it accepts must re-encode to exactly
+// the bytes it consumed (the wire form is canonical), and the prefix it
+// leaves must decode independently.
+func FuzzNVRecordDecode(f *testing.F) {
+	seedRecords := []nvRecord{
+		{kind: nvCreate, path: "/f"},
+		{kind: nvMkdir, path: "/d"},
+		{kind: nvWriteAt, path: "/f", offset: 4096, data: []byte("hello nvram")},
+		{kind: nvWriteFile, path: "/d/g", data: bytes.Repeat([]byte{0xab}, 300)},
+		{kind: nvTruncate, path: "/f", size: 12345},
+		{kind: nvRemove, path: "/d/g"},
+		{kind: nvRename, path: "/f", path2: "/d/renamed"},
+		{kind: nvLink, path: "/d/renamed", path2: "/hard"},
+	}
+	var image []byte
+	for i := range seedRecords {
+		one := appendNVRecord(nil, &seedRecords[i])
+		f.Add(one)
+		image = appendNVRecord(image, &seedRecords[i])
+	}
+	f.Add(image)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x4e}, 64))
+	// A single flipped checksum byte in an otherwise valid record.
+	bad := appendNVRecord(nil, &seedRecords[2])
+	bad[26] ^= 0xff
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		orig := append([]byte(nil), data...)
+		r, n, err := decodeNVRecord(data)
+		if !bytes.Equal(data, orig) {
+			t.Fatalf("decodeNVRecord mutated its input buffer")
+		}
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("failed decode consumed %d bytes", n)
+			}
+		} else {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("accepted record consumed %d of %d bytes", n, len(data))
+			}
+			re := appendNVRecord(nil, &r)
+			if !bytes.Equal(re, data[:n]) {
+				t.Fatalf("wire round trip changed bytes:\n got %x\nwant %x", re, data[:n])
+			}
+			if int64(n) != r.wireLen() {
+				t.Fatalf("consumed %d bytes but wireLen reports %d", n, r.wireLen())
+			}
+		}
+
+		// The whole-image decoder must agree with record-at-a-time
+		// decoding and must reject any image with a damaged tail.
+		recs, err := decodeNVRecords(data)
+		if !bytes.Equal(data, orig) {
+			t.Fatalf("decodeNVRecords mutated its input buffer")
+		}
+		if err == nil {
+			var re []byte
+			for i := range recs {
+				re = appendNVRecord(re, &recs[i])
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("image round trip changed bytes:\n got %x\nwant %x", re, data)
+			}
+			// An accepted image must also restore into an NVRAM intact.
+			nv := NewNVRAM(int64(len(data)) + 4096)
+			if err := nv.Restore(data); err != nil {
+				t.Fatalf("accepted image rejected by Restore: %v", err)
+			}
+			if nv.Pending() != len(recs) {
+				t.Fatalf("Restore holds %d records, decode found %d", nv.Pending(), len(recs))
+			}
+		}
+	})
+}

@@ -103,6 +103,17 @@ type Options struct {
 	// log. Pass the same NVRAM to Mount after a crash to replay it.
 	// NVRAM assumes roll-forward mounts.
 	NVRAM *NVRAM
+	// NVSyncAbsorb makes the NVRAM redo record the durability point:
+	// Sync returns as soon as the caller's epoch is recorded in NVRAM
+	// and the log is flushed to disk asynchronously by the group
+	// committer (or, with NoGroupCommit, lazily at the next natural
+	// flush). Backpressure engages only when the NVRAM fills — that
+	// flush runs inline, as Section 2.1's bounded write buffer demands.
+	// Requires NVRAM; ignored (cleared by withDefaults) without one.
+	// After a crash, mount with the same NVRAM to replay the absorbed
+	// epochs; mounting without it falls back to fail-stop recovery of
+	// whatever the disk log holds.
+	NVSyncAbsorb bool
 	// BackgroundClean moves cleaning into a goroutine owned by the FS:
 	// mutating operations kick it when clean segments fall below
 	// CleanLowWater and block only when the pool is exhausted, instead of
@@ -135,6 +146,11 @@ func (o Options) WithTracer(t *obs.Tracer) Options {
 }
 
 func (o Options) withDefaults() Options {
+	if o.NVRAM == nil {
+		// Absorbed sync without an NVRAM would acknowledge durability
+		// nothing holds; quietly fall back to inline-flush semantics.
+		o.NVSyncAbsorb = false
+	}
 	if o.SegmentBlocks == 0 {
 		o.SegmentBlocks = 128
 	}

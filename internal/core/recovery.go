@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/disk"
@@ -292,7 +293,21 @@ func (fs *FS) removeFreeSeg(seg int64) {
 // inode map — which automatically incorporates the files' new data blocks
 // — and directory-operation-log records are collected for the repair
 // pass. The scan stops at the first hole in the log.
+//
+// When the mount will replay a non-empty NVRAM redo log, the scan instead
+// stops at the last transaction-end marker (SummaryFlagTxnEnd): a flush
+// that was torn by the crash is discarded whole rather than applied
+// partially. The NVRAM holds every operation since the last successful
+// flush (records are cleared only when a flush completes), so the
+// discarded tail is fully re-derived by replay — whereas a partially
+// applied flush would leave the namespace ahead of the records and make
+// in-order replay ambiguous. Without NVRAM the partial tail is kept: in
+// that model recovering as much as possible is strictly better.
 func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
+	limit := uint64(math.MaxUint64)
+	if nv := fs.opts.NVRAM; nv != nil && nv.Pending() > 0 {
+		limit = fs.scanFlushBoundary(cp)
+	}
 	expected := cp.WriteSeq
 	seg := cp.HeadSeg
 	off := int64(cp.HeadOffset)
@@ -308,6 +323,9 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 			off = 0
 			fs.recomputeSegs[seg] = true
 			continue
+		}
+		if expected >= limit {
+			break // torn flush group: NVRAM replay re-derives it
 		}
 		sumAddr := fs.segStart(seg) + off
 		sumBuf, err := fs.readBlockRetry(sumAddr)
@@ -403,6 +421,48 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 	fs.headOff = off
 	fs.nextSeg = next
 	return dirops, nil
+}
+
+// scanFlushBoundary walks the post-checkpoint summary chain without
+// applying anything and returns the exclusive write-sequence bound of the
+// last complete flush group: one past the newest summary carrying
+// SummaryFlagTxnEnd. If no marker is reachable the checkpoint itself is
+// the newest flush boundary and the bound admits nothing.
+func (fs *FS) scanFlushBoundary(cp *layout.Checkpoint) uint64 {
+	expected := cp.WriteSeq
+	seg := cp.HeadSeg
+	off := int64(cp.HeadOffset)
+	next := cp.NextSeg
+	limit := cp.WriteSeq
+	for {
+		if off > fs.segBlocks-2 {
+			if next == layout.NilAddr {
+				break
+			}
+			seg = next
+			off = 0
+			continue
+		}
+		sumBuf, err := fs.readBlockRetry(fs.segStart(seg) + off)
+		if err != nil {
+			break // the applying scan will diagnose (and degrade on media faults)
+		}
+		s, err := layout.DecodeSummary(sumBuf)
+		if err != nil || s.WriteSeq != expected {
+			break
+		}
+		n := int64(len(s.Entries))
+		if n == 0 || off+1+n > fs.segBlocks {
+			break
+		}
+		if s.Flags&layout.SummaryFlagTxnEnd != 0 {
+			limit = expected + 1
+		}
+		next = s.NextSeg
+		expected++
+		off += 1 + n
+	}
+	return limit
 }
 
 // recoverInodeBlock incorporates a packed inode block discovered during

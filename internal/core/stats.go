@@ -67,6 +67,16 @@ type Stats struct {
 	GroupCommits        int64
 	GroupCommitSyncs    int64
 	GroupCommitMaxSyncs int64
+
+	// NVAbsorbedSyncs counts Sync calls satisfied by the NVRAM commit
+	// point alone (Options.NVSyncAbsorb): the caller returned without
+	// waiting for any disk write. NVAsyncKicks counts the non-blocking
+	// committer wakeups the absorb path issued so the disk catches up;
+	// NVBackpressureFlushes counts the inline flushes forced by a full
+	// NVRAM — the mode's only synchronous disk wait.
+	NVAbsorbedSyncs       int64
+	NVAsyncKicks          int64
+	NVBackpressureFlushes int64
 }
 
 // WriteCost returns the paper's write-cost metric: total bytes moved to

@@ -44,6 +44,10 @@ type Config struct {
 	// MaxFaultSites caps the read sites FaultSweep injects faults at;
 	// 0 explores every site, larger site sets are sampled evenly.
 	MaxFaultSites int
+	// NVBytes sizes the NVRAM used by the NVSyncAbsorb harness paths
+	// (RecordNV and friends); default 16384, small enough that modest
+	// workloads exercise the absorb→backpressure-flush transition.
+	NVBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +66,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxPoints == 0 {
 		c.MaxPoints = 16
 	}
+	if c.NVBytes == 0 {
+		c.NVBytes = 16384
+	}
 	return c
 }
 
@@ -74,6 +81,12 @@ type Workload struct {
 	snap *disk.Snapshot // formatted, checkpointed starting image
 	cum  []int64        // persisted blocks after each op (post-mount relative)
 	hist *history
+
+	// nvAbsorb marks a workload recorded by RecordNV: replays run with
+	// NVSyncAbsorb and a fresh NVRAM per run; nvNoGC selects the
+	// serialized (NoGroupCommit) variant of the mode.
+	nvAbsorb bool
+	nvNoGC   bool
 }
 
 // Record formats a starting image, replays the script once against a
@@ -83,6 +96,37 @@ type Workload struct {
 // plain (crash-free) bug, reported before any crash-point work starts.
 func Record(s core.Script, cfg Config) (*Workload, error) {
 	cfg = cfg.withDefaults()
+	return record(s, cfg, *cfg.Opts)
+}
+
+// RecordNV records the workload in NVSyncAbsorb mode: every mutating
+// operation appends an NVRAM redo record before its epoch closes, Sync
+// is absorbed by the NVRAM, and (unless noGroupCommit) the committer
+// goroutine flushes the disk asynchronously. The recording's per-op
+// block counts are only used to enumerate crash points — with the async
+// committer the replayed write sequence is not block-identical to the
+// recording, so RunPointNV derives its durable floors from the replay
+// itself.
+func RecordNV(s core.Script, cfg Config, noGroupCommit bool) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	opts := *cfg.Opts
+	opts.NVSyncAbsorb = true
+	opts.NVRAM = core.NewNVRAM(cfg.NVBytes)
+	opts.NoGroupCommit = noGroupCommit
+	w, err := record(s, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	w.nvAbsorb = true
+	w.nvNoGC = noGroupCommit
+	return w, nil
+}
+
+// record is the shared recording pass: format a starting image, replay
+// the script once against a clone under opts, record cumulative
+// persisted blocks per op, and insist the crash-free run matches the
+// model before any crash-point work starts.
+func record(s core.Script, cfg Config, opts core.Options) (*Workload, error) {
 	d0 := disk.MustNew(disk.DefaultGeometry(cfg.DiskBlocks))
 	fs, err := core.Format(d0, *cfg.Opts)
 	if err != nil {
@@ -95,7 +139,7 @@ func Record(s core.Script, cfg Config) (*Workload, error) {
 	w.hist = buildHistory(w.Ops)
 
 	d := disk.FromSnapshot(w.snap)
-	fs, err = core.Mount(d, *cfg.Opts)
+	fs, err = core.Mount(d, opts)
 	if err != nil {
 		return nil, fmt.Errorf("crashtest: record mount: %w", err)
 	}
@@ -118,6 +162,11 @@ func Record(s core.Script, cfg Config) (*Workload, error) {
 	}
 	if len(rep.Problems) > 0 {
 		return nil, fmt.Errorf("crashtest: record run inconsistent: %s", rep.Problems[0])
+	}
+	// Join the committer/cleaner goroutines; the snapshot was taken
+	// before this mount, so the unmount checkpoint is irrelevant to it.
+	if err := fs.Unmount(); err != nil {
+		return nil, fmt.Errorf("crashtest: record unmount: %w", err)
 	}
 	return w, nil
 }
@@ -323,6 +372,176 @@ func (w *Workload) RunPointBG(k int64) error {
 			k, crashed, w.Ops[crashed], floor, err)
 	}
 	return nil
+}
+
+// PointsNV enumerates crash points for the NVRAM-absorbed durability
+// model. With NVSyncAbsorb every operation completion is an NVRAM
+// commit, so the boundaries just before and at each operation's end —
+// not only Sync/Checkpoint ends — are durability edges the oracle must
+// hold at: they are exactly where "durable via NVRAM, absent from the
+// disk log" states live. Small workloads are exhaustive like Points;
+// larger ones take the stratified sample plus every NVRAM-commit
+// boundary (op ends are sampled evenly past 64 ops to bound the sweep).
+func (w *Workload) PointsNV() []int64 {
+	total := w.Total()
+	if total == 0 {
+		return nil
+	}
+	maxPts := w.cfg.MaxPoints
+	if maxPts < 0 || total <= int64(maxPts) {
+		out := make([]int64, total)
+		for k := range out {
+			out[k] = int64(k)
+		}
+		return out
+	}
+	set := make(map[int64]bool)
+	for j := 0; j < maxPts; j++ {
+		set[int64(j)*total/int64(maxPts)] = true
+	}
+	stride := 1 + (len(w.Ops)-1)/64
+	for i, op := range w.Ops {
+		commit := op.Kind == core.OpSync || op.Kind == core.OpCheckpoint || i%stride == 0
+		if !commit {
+			continue
+		}
+		for _, k := range []int64{w.cum[i] - 1, w.cum[i]} {
+			if k >= 0 && k < total {
+				set[k] = true
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortInt64s(out)
+	return out
+}
+
+// RunPointNV replays an NVSyncAbsorb workload (from RecordNV) with power
+// cut after k persisted blocks, then exercises one of the two recovery
+// arms:
+//
+//   - nvSurvives=true: the crashed image is mounted with the same NVRAM,
+//     which replays the redo records. The durable floor is the last
+//     operation that completed before the cut — in absorb mode every
+//     completed operation is NVRAM-durable, whether or not the disk log
+//     ever saw it.
+//   - nvSurvives=false: the NVRAM contents are lost with the power (a
+//     fail-stop board, or a battery that did not hold). Recovery falls
+//     back to checkpoint + roll-forward alone, and the durable floor is
+//     the disk epoch: the last operation after which the replay observed
+//     flushedSeq covering stageSeq (Durability). Absorbed-but-unflushed
+//     operations land inside the oracle window, where losing them is
+//     acceptable and resurrecting impossible states is not.
+//
+// The async committer makes the replayed write sequence differ from the
+// recording, so both floors are derived from the replay itself (the
+// RunPointBG pattern) and a replay that never crashes — it wrote fewer
+// blocks than the recording by point k — degenerates to an exact check
+// of the final state.
+func (w *Workload) RunPointNV(k int64, nvSurvives bool) error {
+	if !w.nvAbsorb {
+		return fmt.Errorf("crashtest: RunPointNV on a workload not recorded with RecordNV")
+	}
+	if k < 0 || k >= w.Total() {
+		return fmt.Errorf("crashtest: crash point %d outside [0,%d)", k, w.Total())
+	}
+	arm := "nvram-survives"
+	if !nvSurvives {
+		arm = "nvram-lost"
+	}
+	opts := *w.cfg.Opts
+	opts.NVSyncAbsorb = true
+	opts.NVRAM = core.NewNVRAM(w.cfg.NVBytes)
+	opts.NoGroupCommit = w.nvNoGC
+	d := disk.FromSnapshot(w.snap)
+	fs, err := core.Mount(d, opts)
+	if err != nil {
+		return fmt.Errorf("crashtest: %s k=%d: pre-crash mount: %w", arm, k, err)
+	}
+	d.FailAfterWrites(k)
+	completed := -1 // last op that returned success
+	crashed := -1   // op the cut landed in (-1: after all ops)
+	diskFloor := -1 // last op the disk epoch was observed to cover
+	for i, op := range w.Ops {
+		if err := core.ApplyOp(fs, op); err != nil {
+			if !d.Crashed() {
+				fs.Unmount()
+				return fmt.Errorf("crashtest: %s k=%d: op %d (%s) failed without a crash: %w", arm, k, i, op, err)
+			}
+			crashed = i
+			break
+		}
+		completed = i
+		if staged, _, diskSeq := fs.Durability(); diskSeq >= staged {
+			diskFloor = i
+		}
+	}
+	if crashed == -1 {
+		// The cut lands after every op (in the unmount below, or not at
+		// all when this replay wrote fewer blocks than the recording).
+		crashed = completed
+	}
+	// Join the committer goroutine and release the image. On a crashed
+	// disk the final flush or checkpoint fails; that is the crash we
+	// asked for, so the error is ignored.
+	_ = fs.Unmount()
+
+	d.Reopen()
+	ropts := opts
+	if !nvSurvives {
+		ropts.NVRAM = nil
+		ropts.NVSyncAbsorb = false
+	}
+	fs2, err := core.Mount(d, ropts)
+	if err != nil {
+		return fmt.Errorf("crashtest: %s k=%d (crash in op %d, %s): recovery mount: %w",
+			arm, k, crashed, w.Ops[crashed], err)
+	}
+	defer fs2.Unmount()
+	rep, err := fs2.Check()
+	if err != nil {
+		return fmt.Errorf("crashtest: %s k=%d: post-recovery check: %w", arm, k, err)
+	}
+	if len(rep.Problems) > 0 {
+		return fmt.Errorf("crashtest: %s k=%d (crash in op %d, %s): recovered image inconsistent: %s",
+			arm, k, crashed, w.Ops[crashed], rep.Problems[0])
+	}
+	floor := diskFloor
+	if nvSurvives {
+		floor = completed
+	}
+	if err := w.hist.check(fs2, floor, crashed); err != nil {
+		return fmt.Errorf("crashtest: %s k=%d (crash in op %d, %s; floor op %d): %w",
+			arm, k, crashed, w.Ops[crashed], floor, err)
+	}
+	return nil
+}
+
+// SweepNV records the script in NVSyncAbsorb mode and explores every
+// enumerated crash point through both recovery arms (NVRAM survives /
+// NVRAM lost) for both group-commit modes. It returns how many crash
+// runs were executed and the first failure, wrapped with the seed and
+// arm for reproduction.
+func SweepNV(s core.Script, cfg Config) (int, error) {
+	runs := 0
+	for _, noGC := range []bool{false, true} {
+		w, err := RecordNV(s, cfg, noGC)
+		if err != nil {
+			return runs, fmt.Errorf("seed %d (nogc=%v): %w", s.Seed, noGC, err)
+		}
+		for _, k := range w.PointsNV() {
+			for _, survives := range []bool{true, false} {
+				runs++
+				if err := w.RunPointNV(k, survives); err != nil {
+					return runs, fmt.Errorf("seed %d (nogc=%v): %w", s.Seed, noGC, err)
+				}
+			}
+		}
+	}
+	return runs, nil
 }
 
 // Sweep records the script and runs every enumerated crash point,

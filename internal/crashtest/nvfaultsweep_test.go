@@ -1,0 +1,49 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFaultSweepNVReplay crashes NVSyncAbsorb workloads at several cut
+// points, keeps the ones that leave redo records pending in the NVRAM,
+// and sweeps media faults over every block the replaying recovery mount
+// reads. The contract under fault is FaultSweep's: no panic, typed
+// errors only, degraded mode instead of corruption. Crash points whose
+// cut happens to leave the NVRAM empty are skipped — at least one per
+// seed must exercise the replay path.
+func TestFaultSweepNVReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nv replay fault sweep is slow")
+	}
+	for _, seed := range []int64{7, 37} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			s := core.Script{Seed: seed, N: 60}
+			cfg := Config{MaxFaultSites: 24}
+			swept := 0
+			for _, k := range []int64{5, 11, 17, 23} {
+				res, err := FaultSweepNVReplay(s, cfg, k)
+				if errors.Is(err, ErrNoNVPending) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if res.Runs == 0 {
+					t.Fatalf("k=%d: sweep ran no faulted recoveries", k)
+				}
+				swept++
+				t.Logf("k=%d: %d sites, %d runs, %d typed errors, %d degraded, %d failed mounts",
+					k, res.Sites, res.Runs, res.TypedErrors, res.Degraded, res.MountFailed)
+			}
+			if swept == 0 {
+				t.Fatal("no probed crash point left NVRAM records pending")
+			}
+		})
+	}
+}

@@ -12,9 +12,20 @@ import (
 // The durability-aware oracle. A crash after k persisted blocks defines a
 // window of operation indices [floor, crash]:
 //
-//   - floor is the last Sync/Checkpoint that fully persisted before the
-//     cut. Section 4 guarantees everything acknowledged at that point
-//     survives recovery.
+//   - floor is the last operation whose durability was acknowledged
+//     before the cut. What counts as acknowledged depends on the
+//     durability model being tested: in the disk model it is the last
+//     Sync/Checkpoint that fully persisted (Section 4 guarantees
+//     everything acknowledged there survives recovery); in the
+//     NVSyncAbsorb model the commit point moves into the NVRAM, so the
+//     "NVRAM survives" arm floors at the last completed operation
+//     (every completed op is NVRAM-durable and replayNVRAM must restore
+//     it), while the "NVRAM lost" arm floors at the disk epoch the
+//     replay observed (core.Durability: the last op covered by a
+//     successful flush — an op durable via NVRAM but absent from the
+//     disk log falls inside the window, where losing it is legal).
+//     The window machinery below is model-agnostic: only the floor
+//     selection in RunPoint/RunPointBG/RunPointNV differs.
 //   - crash is the operation the power cut landed in. Nothing after it
 //     ever executed, so no recovered state may postdate it.
 //

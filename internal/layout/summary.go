@@ -72,6 +72,14 @@ const summaryHeader = 64
 // MaxSummaryEntries is the number of blocks one summary block can describe.
 const MaxSummaryEntries = (BlockSize - summaryHeader) / summaryEntrySize
 
+// SummaryFlagTxnEnd marks the final partial write of one log flush: the
+// on-disk state after applying every partial write up to and including
+// this one is a flush boundary — exactly the state whose durability the
+// flush acknowledged. Recovery that can re-derive the un-flushed tail
+// from elsewhere (NVRAM replay) rolls forward only through the last
+// marked write, discarding torn flush groups atomically.
+const SummaryFlagTxnEnd uint8 = 1
+
 // Summary is a segment summary block: one is written at the head of every
 // partial-segment write (Section 3.2). Besides identifying the blocks that
 // follow it, it carries the write sequence number and a checksum over the
@@ -84,6 +92,7 @@ type Summary struct {
 	NextSeg      int64  // segment the log will move to after this one
 	YoungestAge  uint64 // most recent modified time among described blocks
 	DataChecksum uint32 // CRC-32C of the concatenated described blocks
+	Flags        uint8  // SummaryFlag* bits
 	Entries      []SummaryEntry
 }
 
@@ -101,6 +110,7 @@ func (s *Summary) Encode() ([]byte, error) {
 	le.PutUint64(buf[32:], s.YoungestAge)
 	le.PutUint32(buf[40:], s.DataChecksum)
 	le.PutUint16(buf[44:], uint16(len(s.Entries)))
+	buf[46] = s.Flags
 	off := summaryHeader
 	for _, e := range s.Entries {
 		buf[off] = uint8(e.Kind)
@@ -135,6 +145,7 @@ func DecodeSummary(buf []byte) (*Summary, error) {
 		NextSeg:      int64(le.Uint64(buf[24:])),
 		YoungestAge:  le.Uint64(buf[32:]),
 		DataChecksum: le.Uint32(buf[40:]),
+		Flags:        buf[46],
 		Entries:      make([]SummaryEntry, n),
 	}
 	off := summaryHeader

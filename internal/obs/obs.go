@@ -109,6 +109,15 @@ const (
 	// CtrGroupCommitMaxSyncs is the largest number of Sync callers one
 	// group commit served.
 	CtrGroupCommitMaxSyncs = "fs.commit.syncs.max"
+	// CtrNVAbsorbedSyncs counts Sync calls the NVRAM commit point
+	// satisfied without any disk wait (Options.NVSyncAbsorb).
+	CtrNVAbsorbedSyncs = "fs.nv.absorbed.syncs"
+	// CtrNVAsyncKicks counts non-blocking committer wakeups issued by
+	// the NVRAM absorb path so the disk catches up in the background.
+	CtrNVAsyncKicks = "fs.nv.kicks"
+	// CtrNVBackpressureFlushes counts inline log flushes forced by a
+	// full NVRAM — the absorb mode's backpressure point.
+	CtrNVBackpressureFlushes = "fs.nv.backpressure.flushes"
 )
 
 // Media-fault counters, recorded by the verify-on-read pipeline, the

@@ -676,10 +676,18 @@ func (fs *FS) Sync() error {
 		return nil
 	}
 	if absorbed {
-		fs.nvAbsorbed.Add(1)
-		fs.tr.Add(obs.CtrNVAbsorbedSyncs, 1)
-		fs.kickCommitAsync(want)
-		return nil
+		// Re-check degraded state right before the fast return: the
+		// async committer degrades concurrently (flushLog failure), and
+		// a degraded disk can never catch up to the NVRAM epoch — the
+		// absorbed nil would mask an error the commit path surfaces.
+		// Degraded callers fall through to requestCommit, whose batch
+		// handler reports ErrDegraded.
+		if fs.failIfDegraded() == nil {
+			fs.nvAbsorbed.Add(1)
+			fs.tr.Add(obs.CtrNVAbsorbedSyncs, 1)
+			fs.kickCommitAsync(want)
+			return nil
+		}
 	}
 	return fs.requestCommit(want)
 }

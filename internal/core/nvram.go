@@ -94,31 +94,44 @@ func (nv *NVRAM) Bytes() []byte {
 }
 
 // Restore replaces the NVRAM contents with a Bytes image, validating the
-// wire encoding first so a corrupt image is rejected atomically.
+// wire encoding first so a corrupt image is rejected atomically. The
+// image must fit the board: append never lets the buffer exceed the
+// capacity, so any larger image cannot have come from a same-sized
+// NVRAM. Decoding works on a private copy, so the caller's slice is
+// never touched (or raced on) by the validation pass.
 func (nv *NVRAM) Restore(buf []byte) error {
-	recs, err := decodeNVRecords(buf)
+	if int64(len(buf)) > nv.capacity {
+		return fmt.Errorf("nvram: restore image of %d bytes exceeds capacity %d", len(buf), nv.capacity)
+	}
+	img := append([]byte(nil), buf...)
+	recs, err := decodeNVRecords(img)
 	if err != nil {
 		return err
 	}
 	nv.mu.Lock()
 	defer nv.mu.Unlock()
-	nv.buf = append(nv.buf[:0:0], buf...)
+	nv.buf = img
 	nv.count = len(recs)
 	return nil
 }
 
-// append encodes and stores one record; it reports whether the NVRAM is
-// now past capacity (the caller must flush the log, which empties it)
-// and whether it is past the soft high-water mark (half full — the
-// caller should schedule an asynchronous flush so the hard wall is
-// rarely hit).
-func (nv *NVRAM) append(r nvRecord) (full, high bool) {
+// append encodes and stores one record if it fits under the capacity;
+// fit=false means the record was NOT stored and the caller must flush
+// the log instead — the flush makes the operation (and everything the
+// NVRAM already holds) recoverable by roll-forward, so the record is no
+// longer needed. The capacity is a hard wall: the buffer never exceeds
+// it, so a Bytes image always restores into a same-sized board. high
+// reports the soft high-water mark (half full — the caller should
+// schedule an asynchronous flush so the hard wall is rarely hit).
+func (nv *NVRAM) append(r nvRecord) (fit, high bool) {
 	nv.mu.Lock()
 	defer nv.mu.Unlock()
+	if int64(len(nv.buf))+r.wireLen() > nv.capacity {
+		return false, false
+	}
 	nv.buf = appendNVRecord(nv.buf, &r)
 	nv.count++
-	used := int64(len(nv.buf))
-	return used >= nv.capacity, used*2 >= nv.capacity
+	return true, int64(len(nv.buf))*2 >= nv.capacity
 }
 
 // clear discards all records (their effects are durable in the log now).
@@ -143,16 +156,41 @@ func (nv *NVRAM) snapshot() ([]nvRecord, error) {
 //
 // In NVSyncAbsorb mode the NVRAM record is the commit point: nvSeq is
 // advanced to cover this operation, the group committer is kicked (non-
-// blocking) at the soft high-water mark, and only a full NVRAM forces
-// the flush inline — that inline flush is the backpressure the mode
-// promises. Without absorb the behavior is the historical one: the
-// record is a safety net and a full NVRAM still flushes inline.
+// blocking) at the soft high-water mark, and a record that no longer
+// fits forces the flush inline — that inline flush is the backpressure
+// the mode promises. Without absorb the behavior is the historical one:
+// the record is a safety net and a record that does not fit still
+// flushes inline.
 func (fs *FS) nvLog(r nvRecord) error {
 	nv := fs.opts.NVRAM
 	if nv == nil || fs.nvReplaying {
 		return nil
 	}
-	full, high := nv.append(r)
+	fit, high := nv.append(r)
+	if !fit {
+		// Hard backpressure: the record was not stored. The inline
+		// flush persists this operation's staged effects (and every
+		// earlier one) to the log and empties the NVRAM via nvClear, so
+		// the record is unnecessary — roll-forward re-derives it all.
+		if fs.opts.NVSyncAbsorb {
+			fs.stats.NVBackpressureFlushes++
+			fs.tr.Add(obs.CtrNVBackpressureFlushes, 1)
+		}
+		if err := fs.flushLog(); err != nil {
+			return err
+		}
+		if fs.opts.NVSyncAbsorb {
+			// The flush covered this operation on disk (flushedSeq still
+			// reads seq-1: stageSeq bumps only at operation end), so the
+			// NVRAM epoch may advance past it — but only after the flush
+			// succeeded, since nothing else holds this record.
+			seq := fs.stageSeq.Load() + 1
+			if fs.flushedSeq.Load() >= seq-1 {
+				fs.nvSeq.Store(seq)
+			}
+		}
+		return nil
+	}
 	if fs.opts.NVSyncAbsorb {
 		seq := fs.stageSeq.Load() + 1
 		// nvSeq may only advance to seq if every earlier operation is
@@ -163,25 +201,9 @@ func (fs *FS) nvLog(r nvRecord) error {
 		if fs.nvSeq.Load() >= seq-1 || fs.flushedSeq.Load() >= seq-1 {
 			fs.nvSeq.Store(seq)
 		}
-		if full {
-			fs.stats.NVBackpressureFlushes++
-			fs.tr.Add(obs.CtrNVBackpressureFlushes, 1)
-			if err := fs.flushLog(); err != nil {
-				return err
-			}
-			nv.clear()
-			return nil
-		}
 		if high {
 			fs.kickCommitAsync(seq)
 		}
-		return nil
-	}
-	if full {
-		if err := fs.flushLog(); err != nil {
-			return err
-		}
-		nv.clear()
 	}
 	return nil
 }

@@ -91,13 +91,13 @@ func decodeNVRecord(buf []byte) (nvRecord, int, error) {
 	}
 	rec := buf[:total]
 	want := binary.LittleEndian.Uint32(rec[26:])
-	// Re-checksum with the sum field zeroed, restoring it afterwards so
-	// the caller's buffer is unchanged.
-	var zero [4]byte
-	saved := [4]byte(rec[26:30])
-	copy(rec[26:30], zero[:])
-	got := layout.Checksum(rec)
-	copy(rec[26:30], saved[:])
+	// Re-checksum with the sum field zeroed. The zeroing happens on a
+	// stack copy of the header so the caller's buffer is never written,
+	// not even transiently — decode must be safe on shared slices.
+	var hdr [nvHeaderLen]byte
+	copy(hdr[:], rec[:nvHeaderLen])
+	copy(hdr[26:30], []byte{0, 0, 0, 0})
+	got := layout.ChecksumUpdate(layout.Checksum(hdr[:]), rec[nvHeaderLen:])
 	if got != want {
 		return r, 0, fmt.Errorf("%w: nvram record checksum %#x, want %#x", ErrCorrupt, got, want)
 	}

@@ -428,6 +428,14 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 // last complete flush group: one past the newest summary carrying
 // SummaryFlagTxnEnd. If no marker is reachable the checkpoint itself is
 // the newest flush boundary and the bound admits nothing.
+//
+// A media read error makes the boundary undeterminable: complete flush
+// groups — whose NVRAM records the successful flushes already discarded —
+// may lie past the unreadable summary, so lowering the bound would
+// silently drop acknowledged data and replay the remaining NVRAM records
+// against a stale namespace. The scan instead lifts the bound entirely,
+// so the applying scan walks up to the same unreadable summary and takes
+// its degrade path, exactly as the no-NVRAM model does.
 func (fs *FS) scanFlushBoundary(cp *layout.Checkpoint) uint64 {
 	expected := cp.WriteSeq
 	seg := cp.HeadSeg
@@ -445,7 +453,10 @@ func (fs *FS) scanFlushBoundary(cp *layout.Checkpoint) uint64 {
 		}
 		sumBuf, err := fs.readBlockRetry(fs.segStart(seg) + off)
 		if err != nil {
-			break // the applying scan will diagnose (and degrade on media faults)
+			if errors.Is(err, disk.ErrMediaRead) {
+				return math.MaxUint64 // boundary undeterminable; degrade at the fault
+			}
+			break // the applying scan will diagnose
 		}
 		s, err := layout.DecodeSummary(sumBuf)
 		if err != nil || s.WriteSeq != expected {

@@ -207,6 +207,27 @@ func FaultSweepNVReplay(s core.Script, cfg Config, k int64) (*FaultSweepResult, 
 		defer ffs.Unmount()
 		if ffs.Degraded() {
 			res.Degraded++
+			return walkTolerant(ffs)
+		}
+		if kind == disk.FaultReadError {
+			// A read-error fault is always detected (the device reports
+			// it), so a recovery that neither failed nor degraded had
+			// everything it needed: it must satisfy the full durability
+			// oracle of the NVRAM-survives arm, with only the state the
+			// fault makes unknowable (unreadable content or subtrees)
+			// excused. This is what catches silent loss of acknowledged
+			// flush groups — e.g. a boundary scan that quietly truncates
+			// the log at an unreadable summary instead of degrading.
+			// Corruption faults stay on the tolerant-walk contract: a
+			// corrupted summary is indistinguishable from the torn end
+			// of the log, so recovering less of the tail is legitimate
+			// there.
+			n, oerr := w.hist.checkFaulted(ffs, completed, crashed)
+			res.TypedErrors += n
+			if oerr != nil {
+				return fmt.Errorf("non-degraded recovery under a read fault: %w", oerr)
+			}
+			return nil
 		}
 		return walkTolerant(ffs)
 	}

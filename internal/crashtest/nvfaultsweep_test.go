@@ -1,11 +1,15 @@
 package crashtest
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/obs"
 )
 
 // TestFaultSweepNVReplay crashes NVSyncAbsorb workloads at several cut
@@ -45,5 +49,139 @@ func TestFaultSweepNVReplay(t *testing.T) {
 				t.Fatal("no probed crash point left NVRAM records pending")
 			}
 		})
+	}
+}
+
+// TestNVBoundaryReadFaultNoSilentLoss pins the flush-boundary scan
+// against the shape the random sweeps rarely produce: a crash that
+// leaves NVRAM records pending AFTER several complete, TxnEnd-marked
+// flush groups, with a read fault landing on one of the earlier groups'
+// summary blocks. Those groups' NVRAM records were discarded when their
+// flushes succeeded, so a boundary scan that silently lowers the replay
+// limit at the unreadable summary discards acknowledged data with no
+// re-derivation (and replays the surviving records against a stale
+// namespace).
+//
+// Two assertions pin the contract. First, the general one: for every
+// block the replaying recovery reads, a read-error fault must make the
+// recovery fail typed, degrade, or recover every acknowledged byte
+// exactly. Second, the specific one: at least one faulted site must
+// degrade FROM THE ROLL-FORWARD SCAN ("roll-forward summary ...
+// unreadable"), i.e. the scan itself must walk up to the unreadable
+// summary and refuse to pick a boundary below it. A boundary scan that
+// silently truncates instead happens to be rescued today by the
+// usage-recomputation pass re-reading the same summaries and degrading
+// there — an accident of the repair ordering, not a durability
+// guarantee; any future change that narrows that re-walk (checkpointed
+// usage, verify-free mounts) would convert the truncation into silent
+// loss of acknowledged flush groups. The reason check pins the
+// deliberate detection so the accidental one cannot mask a regression.
+func TestNVBoundaryReadFaultNoSilentLoss(t *testing.T) {
+	opts := core.Options{
+		SegmentBlocks:  32,
+		MaxInodes:      2048,
+		CleanLowWater:  4,
+		CleanHighWater: 8,
+		CleanBatch:     4,
+		NoGroupCommit:  true, // deterministic inline flushes
+		NVSyncAbsorb:   true,
+	}
+	const nvBytes = 4096
+
+	// Build the crash image. The NVRAM is sized so every second 3 KB
+	// WriteFile overflows it and forces an inline backpressure flush: a
+	// complete TxnEnd flush group whose records leave the NVRAM.
+	d := disk.MustNew(disk.DefaultGeometry(4096))
+	fopts := opts
+	nv := core.NewNVRAM(nvBytes)
+	fopts.NVRAM = nv
+	fs, err := core.Format(d, fopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(c byte) []byte { return bytes.Repeat([]byte{c}, 3000) }
+	files := map[string][]byte{
+		"/a": payload('a'), "/b": payload('b'),
+		"/c": payload('c'), "/d": payload('d'),
+		"/e": []byte("pending in nvram"),
+	}
+	for _, p := range []string{"/a", "/b", "/c", "/d", "/e"} {
+		if err := fs.WriteFile(p, files[p]); err != nil {
+			t.Fatalf("write %s: %v", p, err)
+		}
+	}
+	if n := fs.Stats().NVBackpressureFlushes; n < 2 {
+		t.Fatalf("want >= 2 complete flush groups before the cut, got %d", n)
+	}
+	if nv.Pending() == 0 {
+		t.Fatal("no NVRAM records pending at the cut")
+	}
+	nvImage := nv.Bytes()
+	snap := d.Snapshot() // the crash image: /a../d flushed, /e only in NVRAM
+	_ = fs.Unmount()     // joins goroutines; the snapshot predates it
+
+	mountNV := func(dd *disk.Disk, tr *obs.Tracer) (*core.FS, error) {
+		o := opts
+		rnv := core.NewNVRAM(nvBytes)
+		if err := rnv.Restore(nvImage); err != nil {
+			return nil, err
+		}
+		o.NVRAM = rnv
+		o.Tracer = tr
+		return core.Mount(dd, o)
+	}
+
+	// Trace every block the replaying recovery reads; each is a fault site.
+	sink := newReadSink()
+	tfs, err := mountNV(disk.FromSnapshot(snap), obs.New(sink))
+	if err != nil {
+		t.Fatalf("trace mount: %v", err)
+	}
+	tfs.Unmount()
+	var sites []int64
+	for a := range sink.snapshot() {
+		sites = append(sites, a)
+	}
+	sortInt64s(sites)
+
+	scanDegraded := 0
+	for _, site := range sites {
+		fd := disk.FromSnapshot(snap)
+		if err := fd.InjectFault(disk.Fault{Kind: disk.FaultReadError, Addr: site}); err != nil {
+			t.Fatal(err)
+		}
+		ffs, merr := mountNV(fd, nil)
+		if merr != nil {
+			if !typedFaultErr(merr) {
+				t.Fatalf("site %d: untyped mount error: %v", site, merr)
+			}
+			t.Logf("site %d: mount failed typed: %v", site, merr)
+			continue
+		}
+		if ffs.Degraded() {
+			reason := ffs.DegradedReason()
+			t.Logf("site %d: degraded: %s", site, reason)
+			if strings.Contains(reason, "roll-forward summary") {
+				scanDegraded++
+			}
+			ffs.Unmount()
+			continue
+		}
+		t.Logf("site %d: clean recovery", site)
+		// Neither failed nor degraded: nothing acknowledged may be lost.
+		for p, want := range files {
+			got, err := ffs.ReadFile(p)
+			if err != nil {
+				t.Fatalf("site %d: %s unreadable after a clean recovery: %v", site, p, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("site %d: %s recovered with %d bytes, want %d", site, p, len(got), len(want))
+			}
+		}
+		ffs.Unmount()
+	}
+	if scanDegraded == 0 {
+		t.Fatal("no faulted site degraded from the roll-forward scan itself: " +
+			"the boundary scan silently truncated at the unreadable summary")
 	}
 }

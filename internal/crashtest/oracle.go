@@ -230,6 +230,141 @@ func walkFS(fs *core.FS) (map[string]recState, error) {
 	return out, nil
 }
 
+// tolState is one path's state in a recovery walked under media faults:
+// presence and kind are known; content only when dataOK.
+type tolState struct {
+	dir    bool
+	data   []byte
+	dataOK bool
+}
+
+// walkFSTolerant enumerates the recovered file system while tolerating
+// typed media-fault errors: a file whose read fails typed is recorded
+// with unknown content, a path whose stat fails typed is excused (and
+// its potential subtree declared blind), and a directory whose listing
+// fails typed keeps its own entry but declares its subtree blind. Any
+// untyped error fails the walk. typedErrs counts the excused failures.
+func walkFSTolerant(fs *core.FS) (rec map[string]tolState, excused map[string]bool, blind []string, typedErrs int, err error) {
+	rec = map[string]tolState{}
+	excused = map[string]bool{}
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		entries, err := fs.ReadDir(dir)
+		if err != nil {
+			if !typedFaultErr(err) {
+				return fmt.Errorf("readdir %s: %w", dir, err)
+			}
+			typedErrs++
+			blind = append(blind, dir)
+			return nil
+		}
+		for _, e := range entries {
+			full := dir + "/" + e.Name
+			if dir == "/" {
+				full = "/" + e.Name
+			}
+			info, err := fs.Stat(full)
+			if err != nil {
+				if !typedFaultErr(err) {
+					return fmt.Errorf("stat %s: %w", full, err)
+				}
+				typedErrs++
+				excused[full] = true
+				blind = append(blind, full)
+				continue
+			}
+			if info.IsDir {
+				rec[full] = tolState{dir: true}
+				if err := walk(full); err != nil {
+					return err
+				}
+				continue
+			}
+			data, err := fs.ReadFile(full)
+			if err != nil {
+				if !typedFaultErr(err) {
+					return fmt.Errorf("read %s: %w", full, err)
+				}
+				typedErrs++
+				rec[full] = tolState{}
+				continue
+			}
+			rec[full] = tolState{data: data, dataOK: true}
+		}
+		return nil
+	}
+	if err := walk("/"); err != nil {
+		return nil, nil, nil, typedErrs, err
+	}
+	return rec, excused, blind, typedErrs, nil
+}
+
+// checkFaulted is check for recovery mounts that ran against hostile
+// media: it enforces the same durability window, excusing exactly the
+// state the fault makes unknowable — unreadable file content, paths
+// that cannot be stat'ed, and everything under an unreadable directory.
+// What it still rejects is silent loss: a path absent, or readable with
+// content no in-window instant produced, when the window says the fault
+// could not have hidden it. It returns the count of excused typed read
+// failures alongside the first violation.
+func (h *history) checkFaulted(fs *core.FS, floor, crash int) (int, error) {
+	rec, excused, blind, typedErrs, err := walkFSTolerant(fs)
+	if err != nil {
+		return typedErrs, fmt.Errorf("oracle walk: %w", err)
+	}
+	blinded := func(p string) bool {
+		for _, b := range blind {
+			if b == "/" || strings.HasPrefix(p, b+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	paths := map[string]bool{}
+	for p := range h.paths {
+		paths[p] = true
+	}
+	for p := range rec {
+		paths[p] = true
+	}
+	for p := range paths {
+		if p == "/" || excused[p] {
+			continue
+		}
+		bs := h.paths[p]
+		if bs == nil {
+			bs = []binding{{from: -1, kind: rAbsent}}
+		}
+		acc := windowBindings(bs, floor, crash)
+		got, present := rec[p]
+		switch {
+		case !present:
+			if blinded(p) {
+				continue // under an unreadable directory: unknowable
+			}
+			if !hasKind(acc, rAbsent) {
+				return typedErrs, fmt.Errorf("oracle: %s missing after faulted recovery, but it is %s throughout the window",
+					p, describe(acc))
+			}
+		case got.dir:
+			if !hasKind(acc, rDir) {
+				return typedErrs, fmt.Errorf("oracle: %s recovered as a directory, but the window allows only %s",
+					p, describe(acc))
+			}
+		case !got.dataOK:
+			if !hasKind(acc, rFile) {
+				return typedErrs, fmt.Errorf("oracle: %s recovered as a file, but the window allows only %s",
+					p, describe(acc))
+			}
+		default:
+			if err := h.checkFileContent(p, got.data, acc, floor, crash); err != nil {
+				return typedErrs, err
+			}
+		}
+	}
+	return typedErrs, nil
+}
+
 // check verifies the recovered file system against the window [floor,
 // crash] of the workload history. It returns the first violation found.
 func (h *history) check(fs *core.FS, floor, crash int) error {

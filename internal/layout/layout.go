@@ -48,6 +48,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // Checksum returns the CRC-32C of b.
 func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
 
+// ChecksumUpdate extends a running CRC-32C with b, so callers can sum a
+// logical byte string without materializing it contiguously.
+func ChecksumUpdate(sum uint32, b []byte) uint32 { return crc32.Update(sum, castagnoli, b) }
+
 // -------------------------------------------------------------------------
 // Superblock
 // -------------------------------------------------------------------------

@@ -196,3 +196,14 @@ func BenchmarkAblationThresholds(b *testing.B) {
 	b.ReportMetric(cell(b, t, 0, 1), "tight-marks-cost")
 	b.ReportMetric(cell(b, t, len(t.Rows)-1, 1), "loose-marks-cost")
 }
+
+// BenchmarkReadPath runs the read-path allocation grid: single-block
+// reads from a warm cache (must stay ~0 allocs/op) and through the
+// pooled uncached path. Rows 0-3 are cached, 4-7 uncached, readers
+// 1/2/4/8 within each mode.
+func BenchmarkReadPath(b *testing.B) {
+	t := runExp(b, "readpath")
+	b.ReportMetric(cell(b, t, 0, 5), "cached-allocs/op")
+	b.ReportMetric(cell(b, t, 4, 5), "uncached-allocs/op")
+	b.ReportMetric(cell(b, t, 4, 6), "uncached-blocks-read")
+}

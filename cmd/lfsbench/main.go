@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -31,7 +30,8 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		trace    = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics  = flag.Bool("metrics", false, "print the obs metrics snapshot after the run")
-		snapshot = flag.String("snapshot", "", "run the groupcommit grid and write structured results to this JSON file")
+		snapshot = flag.String("snapshot", "", "run the snapshot grids (groupcommit, nvsync, readpath) and write structured results to this JSON file, merging by grid name if it exists")
+		check    = flag.String("check", "", "regression gate: rerun the snapshot grids at BASELINE's scale and seed and fail if any gated metric leaves its tolerance band")
 	)
 	flag.Parse()
 
@@ -96,6 +96,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *check != "" {
+		if err := checkSnapshot(cfg, *check); err != nil {
+			fail(err)
+		}
+		fmt.Printf("regression gate passed against %s\n", *check)
+		closeTrace()
+		return
+	}
+
 	if *snapshot != "" {
 		if err := writeSnapshot(cfg, *snapshot); err != nil {
 			fail(err)
@@ -128,44 +137,72 @@ func main() {
 	closeTrace()
 }
 
-// benchSnapshot is the schema of the BENCH_<date>.json artifact: the
-// group-commit grid plus enough run metadata to compare snapshots
-// across commits.
-type benchSnapshot struct {
-	Date        string                    `json:"date"`
-	GoVersion   string                    `json:"go_version"`
-	Quick       bool                      `json:"quick"`
-	Seed        int64                     `json:"seed"`
-	GroupCommit []bench.GroupCommitResult `json:"groupcommit"`
-	NVSync      []bench.NVSyncResult      `json:"nvsync"`
+// writeSnapshot runs the grids (bench.Snapshot holds the schema of the
+// BENCH_<date>.json artifact) and writes them to path. When path
+// already exists — the same-day rerun case — the new grids are merged
+// into it key by key instead of clobbering the file, so keys a newer
+// schema doesn't know about survive and a partial rerun never silently
+// discards grids recorded by an earlier run.
+func writeSnapshot(cfg bench.Config, path string) error {
+	snap, err := bench.RunSnapshot(cfg, time.Now().UTC().Format("2006-01-02"))
+	if err != nil {
+		return err
+	}
+	fresh, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	merged := make(map[string]json.RawMessage)
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &merged); err != nil {
+			return fmt.Errorf("existing %s is not a snapshot object (refusing to overwrite): %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var freshKeys map[string]json.RawMessage
+	if err := json.Unmarshal(fresh, &freshKeys); err != nil {
+		return err
+	}
+	for k, v := range freshKeys {
+		merged[k] = v
+	}
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-func writeSnapshot(cfg bench.Config, path string) error {
-	results, err := bench.RunGroupCommitResults(cfg)
+// checkSnapshot is the CI regression gate: rerun the grids at the
+// baseline's scale and seed and compare every gated (host-independent)
+// metric against its tolerance band.
+func checkSnapshot(cfg bench.Config, path string) error {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	nvResults, err := bench.RunNVSyncResults(cfg)
+	var base bench.Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if len(base.GroupCommit) == 0 && len(base.NVSync) == 0 && len(base.ReadPath) == 0 {
+		return fmt.Errorf("baseline %s contains no grids", path)
+	}
+	// The gate must compare like with like: adopt the baseline's scale
+	// and seed, whatever the command line said.
+	cfg.Quick = base.Quick
+	cfg.Seed = base.Seed
+	fresh, err := bench.RunSnapshot(cfg, base.Date)
 	if err != nil {
 		return err
 	}
-	snap := benchSnapshot{
-		Date:        time.Now().UTC().Format("2006-01-02"),
-		GoVersion:   runtime.Version(),
-		Quick:       cfg.Quick,
-		Seed:        cfg.Seed,
-		GroupCommit: results,
-		NVSync:      nvResults,
+	regs := bench.CompareSnapshots(&base, fresh)
+	if len(regs) == 0 {
+		return nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "lfsbench: regression:", r)
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fmt.Errorf("%d metric(s) regressed against %s", len(regs), path)
 }

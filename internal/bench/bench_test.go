@@ -230,6 +230,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"ablation-policy", "ablation-agesort", "ablation-segsize",
 		"ablation-checkpoint", "ablation-writebuffer", "ablation-thresholds",
 		"ablation-cleanread", "bgclean", "groupcommit", "nvsync",
+		"readpath",
 	}
 	have := map[string]bool{}
 	for _, e := range Experiments() {

@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{"bgclean", "reader latency during cleaning: inline vs background cleaner", RunBgClean},
 		{"groupcommit", "concurrent writers: grouped vs serialized log admission", RunGroupCommit},
 		{"nvsync", "sync-per-small-file: NVRAM-absorbed vs inline durability", RunNVSync},
+		{"readpath", "single-block reads: warm cache vs pooled uncached path", RunReadPath},
 	}
 }
 

@@ -1,0 +1,129 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolRecycles(t *testing.T) {
+	p := New(16, 4)
+	a := p.Get()
+	if len(a) != 16 {
+		t.Fatalf("Get len = %d, want 16", len(a))
+	}
+	a[0] = 0xAA
+	p.Put(a)
+	b := p.Get()
+	if &a[0] != &b[0] {
+		t.Fatalf("Get after Put returned a different buffer")
+	}
+	st := p.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want gets=2 hits=1 misses=1 puts=1", st)
+	}
+}
+
+func TestPoolBoundsIdleBuffers(t *testing.T) {
+	p := New(8, 2)
+	bufs := [][]byte{p.Get(), p.Get(), p.Get()}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	if got := p.Idle(); got != 2 {
+		t.Fatalf("idle = %d, want capacity bound 2", got)
+	}
+	if st := p.Stats(); st.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", st.Drops)
+	}
+}
+
+func TestPoolRejectsWrongShape(t *testing.T) {
+	p := New(8, 4)
+	p.Put(make([]byte, 7))      // wrong length
+	p.Put(make([]byte, 8, 16))  // wrong capacity
+	p.Put(make([]byte, 16)[:8]) // prefix of a larger buffer
+	p.Put(nil)                  // no-op
+	if got := p.Idle(); got != 0 {
+		t.Fatalf("idle = %d after wrong-shape puts, want 0", got)
+	}
+	if st := p.Stats(); st.Drops != 3 {
+		t.Fatalf("drops = %d, want 3", st.Drops)
+	}
+}
+
+func TestPoolDisabled(t *testing.T) {
+	p := New(8, 0)
+	b := p.Get()
+	p.Put(b)
+	if got := p.Idle(); got != 0 {
+		t.Fatalf("disabled pool kept %d buffers", got)
+	}
+}
+
+func TestGetZero(t *testing.T) {
+	p := New(8, 4)
+	b := p.Get()
+	for i := range b {
+		b[i] = 0xFF
+	}
+	p.Put(b)
+	z := p.GetZero()
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZero[%d] = %#x, want 0", i, v)
+		}
+	}
+}
+
+func TestRunPoolClasses(t *testing.T) {
+	p := NewRun(4, 8, 2)
+	b3 := p.Get(3) // drawn from the 4-block class
+	if len(b3) != 12 || cap(b3) != 16 {
+		t.Fatalf("Get(3): len=%d cap=%d, want len=12 cap=16", len(b3), cap(b3))
+	}
+	p.Put(b3)
+	b4 := p.Get(4)
+	if cap(b4) != 16 {
+		t.Fatalf("Get(4) cap = %d, want 16", cap(b4))
+	}
+	if st := p.Stats(); st.Hits != 1 {
+		t.Fatalf("run-pool hits = %d, want the 3-block buffer recycled for the 4-block get", st.Hits)
+	}
+	// Oversize runs fall through to plain allocation and are dropped on Put.
+	big := p.Get(9)
+	if len(big) != 36 {
+		t.Fatalf("oversize Get(9) len = %d, want 36", len(big))
+	}
+	p.Put(big)
+	if st := p.Stats(); st.Puts != 1 {
+		t.Fatalf("puts = %d, want oversize buffer not kept", st.Puts)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := New(32, 16)
+	r := NewRun(32, 16, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := p.Get()
+				b[0] = byte(g)
+				p.Put(b)
+				rb := r.Get(1 + i%16)
+				if len(rb) != (1+i%16)*32 {
+					t.Errorf("run len = %d", len(rb))
+					return
+				}
+				r.Put(rb[:cap(rb)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Gets != 8*500 {
+		t.Fatalf("gets = %d, want %d", st.Gets, 8*500)
+	}
+}

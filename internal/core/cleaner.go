@@ -368,7 +368,12 @@ func (fs *FS) cleanSegment(seg int64) error {
 // releasing it).
 func (fs *FS) collectLiveFull(seg int64) ([]liveCopy, error) {
 	start := fs.segStart(seg)
-	buf := make([]byte, fs.segBytes)
+	// The whole-segment buffer is drawn from the run pool and returned
+	// on every exit: nothing below retains a view of it (live data is
+	// copied into pooled per-block buffers, metadata is decoded into
+	// private structures).
+	buf := fs.rpool.Get(int(fs.segBlocks))
+	defer fs.rpool.Put(buf)
 	if err := fs.readRetry(start, buf); err != nil {
 		if errors.Is(err, disk.ErrMediaRead) {
 			fs.quarantineSeg(seg)
@@ -483,8 +488,9 @@ func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
 			j++
 		}
 		run := wants[i:j]
-		buf := make([]byte, int64(len(run))*layout.BlockSize)
+		buf := fs.rpool.Get(len(run))
 		if err := fs.readRetry(run[0].addr, buf); err != nil {
+			fs.rpool.Put(buf)
 			if errors.Is(err, disk.ErrMediaRead) {
 				fs.quarantineSeg(seg)
 				i = j
@@ -503,12 +509,14 @@ func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
 			}
 			added, err := fs.handleLiveEntry(w.e, w.addr, block)
 			if err != nil {
+				fs.rpool.Put(buf)
 				return nil, err
 			}
 			if added != nil {
 				lives = append(lives, *added)
 			}
 		}
+		fs.rpool.Put(buf)
 		i = j
 	}
 	return lives, nil
@@ -540,7 +548,9 @@ func (fs *FS) handleLiveEntry(e layout.SummaryEntry, addr int64, block []byte) (
 			}
 			age = mi.ino.Mtime
 		}
-		data := make([]byte, layout.BlockSize)
+		// Copy into a pooled buffer: the liveCopy is staged for rewrite
+		// and flushPending returns it to the pool after the device write.
+		data := fs.bpool.Get()
 		copy(data, block)
 		return &liveCopy{entry: e, data: data, age: age, inum: e.Inum, bn: e.BlockNo}, nil
 	case layout.KindIndirect:
@@ -612,9 +622,10 @@ func (fs *FS) stageLiveCopies(lives []liveCopy) error {
 		fs.markInodeDirty(lc.inum)
 		lc := lc
 		fs.stage(stagedBlock{
-			entry: lc.entry,
-			data:  lc.data,
-			age:   lc.age,
+			entry:  lc.entry,
+			data:   lc.data,
+			pooled: true, // handleLiveEntry drew it from the pool
+			age:    lc.age,
 			placed: func(addr int64) error {
 				old, err := fs.setBlockAddr(mi, lc.bn, addr)
 				if err != nil {

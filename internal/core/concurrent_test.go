@@ -191,14 +191,14 @@ func TestRcacheInvalidateRecache(t *testing.T) {
 	fs, _ := newTestFS(t, 2048, opts)
 	blk := func(b byte) []byte { return bytes.Repeat([]byte{b}, 16) }
 
-	fs.cacheBlock(100, blk('A'))
-	fs.cacheBlock(101, blk('B'))
+	fs.cacheBlockOwned(100, blk('A'))
+	fs.cacheBlockOwned(101, blk('B'))
 	fs.invalidateCachedBlock(100)
 	if _, ok := fs.cachedBlock(100); ok {
 		t.Fatal("invalidated block still served from cache")
 	}
-	fs.cacheBlock(100, blk('C')) // re-cache the invalidated address
-	fs.cacheBlock(102, blk('D')) // cache full: must evict 101, the oldest live block
+	fs.cacheBlockOwned(100, blk('C')) // re-cache the invalidated address
+	fs.cacheBlockOwned(102, blk('D')) // cache full: must evict 101, the oldest live block
 	if _, ok := fs.cachedBlock(101); ok {
 		t.Fatal("oldest live block survived eviction")
 	}
@@ -228,7 +228,7 @@ func TestRcacheRingCompaction(t *testing.T) {
 	buf := make([]byte, 16)
 	for i := 0; i < 10000; i++ {
 		addr := int64(500 + i%8)
-		fs.cacheBlock(addr, buf)
+		fs.cacheBlockOwned(addr, buf)
 		fs.invalidateCachedBlock(addr)
 	}
 	if rl := fs.rcacheRing.len(); rl > 64 {
@@ -315,11 +315,11 @@ func BenchmarkRcacheEviction(b *testing.B) {
 	}
 	buf := make([]byte, layout.BlockSize)
 	for i := 0; i < opts.ReadCacheBlocks; i++ {
-		fs.cacheBlock(int64(i), buf)
+		fs.cacheBlockOwned(int64(i), buf)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fs.cacheBlock(int64(opts.ReadCacheBlocks+i), buf)
+		fs.cacheBlockOwned(int64(opts.ReadCacheBlocks+i), buf)
 	}
 }

@@ -4,29 +4,35 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/disk"
 	"repro/internal/layout"
 )
 
-// readFileBlock returns the contents of file block bn, consulting the
-// dirty file cache first, then the read cache, then the device. Holes
-// read as zeros.
-func (fs *FS) readFileBlock(mi *mInode, bn uint32) ([]byte, error) {
+// readFileBlockInto copies the contents of file block bn into dst (one
+// full block), consulting the dirty file cache first, then the read
+// cache, then the device. Holes read as zeros. dst is typically a
+// pooled buffer the caller owns; on return it never aliases cache
+// storage, so the caller may mutate it freely.
+func (fs *FS) readFileBlockInto(mi *mInode, bn uint32, dst []byte) error {
 	if b, ok := fs.dcache[blockKey{mi.ino.Inum, bn}]; ok {
-		return b, nil
+		copy(dst, b)
+		return nil
 	}
 	addr, err := fs.blockAddr(mi, bn)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if addr == layout.NilAddr {
-		return make([]byte, layout.BlockSize), nil
+		clear(dst)
+		return nil
 	}
 	b, err := fs.readDiskBlock(addr)
 	if err != nil {
-		return nil, attributeCorruption(err, mi.ino.Inum, int64(bn)*layout.BlockSize)
+		return attributeCorruption(err, mi.ino.Inum, int64(bn)*layout.BlockSize)
 	}
-	return b, nil
+	copy(dst, b)
+	return nil
 }
 
 // readAt reads up to len(buf) bytes from the file at off, returning how
@@ -99,14 +105,32 @@ func (fs *FS) readAt(mi *mInode, off int64, buf []byte) (int, error) {
 			run++
 		}
 		var n int
-		if run == 1 {
+		switch {
+		case run == 1 && fs.rcache != nil:
+			// readDiskBlock fills the cache with the buffer it read into
+			// (ownership transfer, no copy) and hands back a read-only
+			// view of it.
 			blk, err := fs.readDiskBlock(addr)
 			if err != nil {
 				return total, attributeCorruption(err, inum, int64(bn)*layout.BlockSize)
 			}
 			n = copy(buf, blk[inBlock:])
-		} else {
-			big := make([]byte, run*layout.BlockSize)
+		case run == 1:
+			// No read cache to hand the buffer to: read into a pooled
+			// block and return it as soon as the bytes are copied out.
+			blk := fs.bpool.Get()
+			err := fs.readRetry(addr, blk)
+			if err == nil {
+				err = fs.verifyBlock(addr, blk)
+			}
+			if err != nil {
+				fs.bpool.Put(blk)
+				return total, attributeCorruption(err, inum, int64(bn)*layout.BlockSize)
+			}
+			n = copy(buf, blk[inBlock:])
+			fs.bpool.Put(blk)
+		default:
+			big := fs.rpool.Get(run)
 			err := fs.readRetry(addr, big)
 			if errors.Is(err, disk.ErrMediaRead) {
 				// One bad sector fails the whole coalesced request; fall
@@ -130,15 +154,25 @@ func (fs *FS) readAt(mi *mInode, off int64, buf []byte) (int, error) {
 						err = attributeCorruption(verr, inum, int64(bn+uint32(i))*layout.BlockSize)
 						break
 					}
-					// Populate the read cache from the coalesced read so
-					// a re-read is served from memory.
-					fs.cacheBlock(addr+int64(i), s)
+					// Populate the read cache from the coalesced read so a
+					// re-read is served from memory. The cache takes a
+					// private pooled copy: big itself goes back to the run
+					// pool below, so it must never enter the cache.
+					if fs.rcache != nil {
+						cb := fs.bpool.Get()
+						copy(cb, s)
+						if !fs.cacheBlockOwned(addr+int64(i), cb) {
+							fs.bpool.Put(cb)
+						}
+					}
 				}
 			}
 			if err != nil {
+				fs.rpool.Put(big)
 				return total, err
 			}
 			n = copy(buf, big[inBlock:])
+			fs.rpool.Put(big)
 		}
 		buf, off, total = buf[n:], off+int64(n), total+n
 	}
@@ -155,9 +189,11 @@ type preparedWrite struct {
 }
 
 // prepareWrite copies every fully-covered block of the write into its
-// own block-sized buffer. It touches no file system state and may run
-// before fs.mu is taken. Returns nil when no block is fully covered.
-func prepareWrite(off int64, data []byte) *preparedWrite {
+// own pooled block buffer. It touches no file system state beyond the
+// (internally locked) buffer pool and may run before fs.mu is taken.
+// Returns nil when no block is fully covered. The caller must arrange
+// for release to run after the write, returning unconsumed buffers.
+func (fs *FS) prepareWrite(off int64, data []byte) *preparedWrite {
 	if off < 0 {
 		return nil
 	}
@@ -169,7 +205,7 @@ func prepareWrite(off int64, data []byte) *preparedWrite {
 	}
 	p := &preparedWrite{base: uint32(first), blks: make([][]byte, last-first)}
 	for i := range p.blks {
-		blk := make([]byte, layout.BlockSize)
+		blk := fs.bpool.Get()
 		src := (first+int64(i))*layout.BlockSize - off
 		copy(blk, data[src:])
 		p.blks[i] = blk
@@ -186,6 +222,19 @@ func (p *preparedWrite) take(bn uint32) []byte {
 	blk := p.blks[bn-p.base]
 	p.blks[bn-p.base] = nil
 	return blk
+}
+
+// release returns every unconsumed prepared buffer to the pool.
+// Consumed buffers were nil'd by take, so release is safe to defer
+// unconditionally (including on the error paths that never stage).
+func (p *preparedWrite) release(pool *bufpool.Pool) {
+	if p == nil {
+		return
+	}
+	for i, b := range p.blks {
+		pool.Put(b)
+		p.blks[i] = nil
+	}
 }
 
 // writeAt writes data into the file at off, extending it as needed. The
@@ -221,22 +270,21 @@ func (fs *FS) writeAtPrepared(mi *mInode, off int64, data []byte, prep *prepared
 		blk, dirty := fs.dcache[key]
 		copied := false
 		if !dirty {
-			// Read-modify-write for partial blocks that already exist.
-			var err error
 			if inBlock != 0 || n != layout.BlockSize {
-				blk, err = fs.readFileBlock(mi, bn)
-				if err != nil {
+				// Read-modify-write for partial blocks: pull the current
+				// contents into a pooled buffer the write can scribble on.
+				blk = fs.bpool.Get()
+				if err := fs.readFileBlockInto(mi, bn, blk); err != nil {
+					fs.bpool.Put(blk)
 					return total, err
 				}
-				cp := make([]byte, layout.BlockSize)
-				copy(cp, blk)
-				blk = cp
 			} else if pb := prep.take(bn); pb != nil {
 				// Fully-overwritten block with its payload already copied
 				// in outside the lock.
 				blk, copied = pb, true
 			} else {
-				blk = make([]byte, layout.BlockSize)
+				// Fully overwritten below; stale pooled contents are fine.
+				blk = fs.bpool.Get()
 			}
 			fs.dcache[key] = blk
 			fs.dirtyBlocks++
@@ -307,12 +355,11 @@ func (fs *FS) truncate(mi *mInode, size int64) error {
 			key := blockKey{inum, bn}
 			blk, dirty := fs.dcache[key]
 			if !dirty {
-				src, err := fs.readFileBlock(mi, bn)
-				if err != nil {
+				blk = fs.bpool.Get()
+				if err := fs.readFileBlockInto(mi, bn, blk); err != nil {
+					fs.bpool.Put(blk)
 					return err
 				}
-				blk = make([]byte, layout.BlockSize)
-				copy(blk, src)
 				fs.dcache[key] = blk
 				fs.dirtyBlocks++
 				if err := fs.ensureMapSlot(mi, bn); err != nil {
@@ -334,9 +381,12 @@ func (fs *FS) truncate(mi *mInode, size int64) error {
 // indirect blocks that become empty.
 func (fs *FS) dropBlocksFrom(mi *mInode, keep uint32) error {
 	inum := mi.ino.Inum
-	// Dirty cache blocks beyond the cut simply vanish.
+	// Dirty cache blocks beyond the cut vanish — back into the pool:
+	// truncation runs under fs.mu.Lock, so no reader can still hold a
+	// view of a dirty block.
 	for k := range fs.dcache {
 		if k.inum == inum && k.bn >= keep {
+			fs.bpool.Put(fs.dcache[k])
 			delete(fs.dcache, k)
 			fs.dirtyBlocks--
 		}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/disk"
 	"repro/internal/layout"
 	"repro/internal/obs"
@@ -64,6 +65,16 @@ type FS struct {
 
 	// File cache: dirty data blocks awaiting the next log write.
 	dcache map[blockKey][]byte
+	// bpool recycles single layout.BlockSize buffers and rpool recycles
+	// multi-block run buffers (coalesced reads, partial-segment writes,
+	// whole-segment cleaner reads). Both are internally locked and may
+	// be used outside fs.mu. Ownership discipline: a Get buffer is
+	// exclusively the caller's until Put or until ownership transfers to
+	// the dirty cache (dcache → staged → Put after the device write) or
+	// the read cache (cacheBlockOwned — after which it is immutable and
+	// never returns to the pool; see DESIGN.md).
+	bpool *bufpool.Pool
+	rpool *bufpool.RunPool
 	// Read cache for clean blocks (bounded FIFO; optional). rcacheMu
 	// guards all four fields: the ring holds the eviction order, and an
 	// invalidated address leaves a tombstone count so its stale ring
@@ -286,6 +297,10 @@ func Format(dev *disk.Disk, opts Options) (*FS, error) {
 	return fs, nil
 }
 
+// runPoolPerClass is how many idle multi-block run buffers each
+// power-of-two size class of the run pool keeps.
+const runPoolPerClass = 4
+
 func newFS(dev *disk.Disk, opts Options, sb *layout.Superblock) *FS {
 	segBlocks := int64(sb.SegmentBlocks)
 	nsegs := int64(sb.NumSegments)
@@ -315,6 +330,16 @@ func newFS(dev *disk.Disk, opts Options, sb *layout.Superblock) *FS {
 	fs.admitCond = sync.NewCond(&fs.admitMu)
 	fs.commitCond = sync.NewCond(&fs.commitMu)
 	fs.admitCap = opts.AdmitBudgetBlocks
+	fs.bpool = bufpool.New(layout.BlockSize, opts.PoolBlocks)
+	// Runs span at most one segment: coalesced reads are split by the
+	// cache/dirty checks, a partial write is at most a segment, and the
+	// cleaner reads whole segments. Keep a few idle buffers per class —
+	// one in-flight flush, one cleaner pass, plus concurrent readers.
+	perClass := runPoolPerClass
+	if opts.PoolBlocks == 0 {
+		perClass = 0 // pooling disabled (Options.PoolBlocks < 0)
+	}
+	fs.rpool = bufpool.NewRun(layout.BlockSize, int(segBlocks), perClass)
 	if opts.ReadCacheBlocks > 0 {
 		fs.rcache = make(map[int64][]byte)
 		fs.rcacheDead = make(map[int64]int)
@@ -481,26 +506,32 @@ func (fs *FS) readMetaBlock(addr int64) ([]byte, error) {
 }
 
 // readDiskBlock reads the block at addr through the read cache. The
-// returned buffer is always private to the caller: cache hits are
-// copied out, and the cache keeps its own copy on fills, so callers may
-// mutate the result without corrupting cached data.
+// returned slice is READ-ONLY and may be the cache's own storage:
+// callers must copy before mutating (writers that need a private
+// mutable block use readFileBlockInto). Every caller was audited for
+// this contract when the hot paths went allocation-free — the old
+// copy-out-on-hit behaviour is the allocation this saves.
 // Media errors are retried within the bounded budget and every block
 // coming off the disk is checksum-verified before it is cached or used
 // (cache hits were verified when they were filled).
 func (fs *FS) readDiskBlock(addr int64) ([]byte, error) {
 	if b, ok := fs.cachedBlock(addr); ok {
-		out := make([]byte, len(b))
-		copy(out, b)
-		return out, nil
+		return b, nil
 	}
-	buf, err := fs.readBlockRetry(addr)
-	if err != nil {
+	buf := fs.bpool.Get()
+	if err := fs.readRetry(addr, buf); err != nil {
+		fs.bpool.Put(buf)
 		return nil, err
 	}
 	if err := fs.verifyBlock(addr, buf); err != nil {
+		fs.bpool.Put(buf)
 		return nil, err
 	}
-	fs.cacheBlock(addr, buf)
+	// Ownership moves to the read cache (after which the buffer is
+	// immutable and never pooled again); when there is no cache the
+	// caller keeps the only reference and it dies to the GC — the
+	// pooled fast path for cache-less reads lives in readAt.
+	fs.cacheBlockOwned(addr, buf)
 	return buf, nil
 }
 
@@ -517,25 +548,30 @@ func (fs *FS) cachedBlock(addr int64) ([]byte, bool) {
 	return b, ok
 }
 
-// cacheBlock stores a private copy of buf in the read cache, so later
-// mutation of buf by the caller cannot alias cached data. Eviction is
-// FIFO over a ring buffer; ring entries whose address was invalidated
-// carry a tombstone count and are discarded, not evicted, when they
-// reach the front — so an invalidate + re-cache of the same address
-// never evicts the live block early.
-func (fs *FS) cacheBlock(addr int64, buf []byte) {
+// cacheBlockOwned installs buf — ownership of which the caller
+// surrenders — as the cached contents of addr, and reports whether the
+// cache took it (false only when no read cache is configured; the
+// caller then still owns the buffer). Once stored the buffer is
+// immutable forever: readers copy cached slices outside rcacheMu, so
+// buffers that have entered the cache die to the garbage collector on
+// eviction or invalidation, never back to the pool — that one-way door
+// is what makes pooled buffers and the immutable rcache coexist (the
+// PR 1 aliasing bug class). Eviction is FIFO over a ring buffer; ring
+// entries whose address was invalidated carry a tombstone count and
+// are discarded, not evicted, when they reach the front — so an
+// invalidate + re-cache of the same address never evicts the live
+// block early.
+func (fs *FS) cacheBlockOwned(addr int64, buf []byte) bool {
 	if fs.rcache == nil {
-		return
+		return false
 	}
-	cp := make([]byte, len(buf))
-	copy(cp, buf)
 	fs.rcacheMu.Lock()
 	defer fs.rcacheMu.Unlock()
 	if _, ok := fs.rcache[addr]; ok {
-		fs.rcache[addr] = cp
-		return
+		fs.rcache[addr] = buf
+		return true
 	}
-	fs.rcache[addr] = cp
+	fs.rcache[addr] = buf
 	fs.rcacheRing.push(addr)
 	// The map holds only live blocks, so its size is the live count.
 	for len(fs.rcache) > fs.opts.ReadCacheBlocks {
@@ -556,6 +592,7 @@ func (fs *FS) cacheBlock(addr int64, buf []byte) {
 		}
 		delete(fs.rcache, old)
 	}
+	return true
 }
 
 // invalidateCachedBlock drops addr from the read cache (the address is

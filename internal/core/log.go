@@ -20,6 +20,12 @@ type stagedBlock struct {
 	placed  func(addr int64) error
 	age     uint64
 	cleaner bool // written on behalf of the cleaner (for stats)
+	// pooled marks data as a bufpool buffer owned by the staging queue
+	// (dirty file blocks, cleaner live copies): flushPending returns it
+	// to the pool once the device write that covers it succeeds. On a
+	// degrading flush failure the buffer is leaked to the GC instead —
+	// the torn staging state must never feed the freelist.
+	pooled bool
 }
 
 func (fs *FS) stage(b stagedBlock) {
@@ -123,7 +129,10 @@ func (fs *FS) flushPending() error {
 		fs.invalidateCachedBlock(sumAddr)
 
 		// Phase 2: encode contents (late-bound encoders see final state).
-		buf := make([]byte, (1+n)*layout.BlockSize)
+		// buf comes from the run pool; every error return below degrades
+		// the file system (see flushLog), so the buffer is still returned
+		// on those paths while the staged data buffers are leaked to GC.
+		buf := fs.rpool.Get(1 + n)
 		entries := make([]layout.SummaryEntry, n)
 		var youngest uint64
 		for i := range batch {
@@ -134,10 +143,12 @@ func (fs *FS) flushPending() error {
 				var err error
 				content, err = b.encode()
 				if err != nil {
+					fs.rpool.Put(buf)
 					return err
 				}
 			}
 			if len(content) != layout.BlockSize {
+				fs.rpool.Put(buf)
 				return fmt.Errorf("%w: staged block has %d bytes", ErrCorrupt, len(content))
 			}
 			copy(buf[(1+i)*layout.BlockSize:], content)
@@ -166,6 +177,7 @@ func (fs *FS) flushPending() error {
 		}
 		sumBlock, err := summary.Encode()
 		if err != nil {
+			fs.rpool.Put(buf)
 			return err
 		}
 		// The data blocks are written before the summary that describes
@@ -175,10 +187,23 @@ func (fs *FS) flushPending() error {
 		// the volume of data (Table 3). A crash between the two writes
 		// leaves an unreachable, harmless tail.
 		if err := fs.dev.Write(sumAddr+1, buf[layout.BlockSize:]); err != nil {
+			fs.rpool.Put(buf)
 			return err
 		}
 		if err := fs.dev.Write(sumAddr, sumBlock); err != nil {
+			fs.rpool.Put(buf)
 			return err
+		}
+		// The device copied everything out, so the run buffer and the
+		// pooled staged data buffers go back to their freelists. This is
+		// the back half of the write path's closed loop: prepareWrite /
+		// writeAt Get → dcache → staged → Put here.
+		fs.rpool.Put(buf)
+		for i := range batch {
+			if batch[i].pooled {
+				fs.bpool.Put(batch[i].data)
+				batch[i].data = nil
+			}
 		}
 		// Remember each block's checksum so verify-on-read can check it
 		// without re-reading the summary from disk.
@@ -374,9 +399,10 @@ func (fs *FS) stageDataBlocks() error {
 		}
 		version := fs.imap.get(k.inum).Version
 		fs.stage(stagedBlock{
-			entry: layout.SummaryEntry{Kind: layout.KindData, Inum: k.inum, Version: version, BlockNo: k.bn},
-			data:  data,
-			age:   mi.ino.Mtime,
+			entry:  layout.SummaryEntry{Kind: layout.KindData, Inum: k.inum, Version: version, BlockNo: k.bn},
+			data:   data,
+			pooled: true, // dcache buffers are pooled; reclaimed post-write
+			age:    mi.ino.Mtime,
 			placed: func(addr int64) error {
 				old, err := fs.setBlockAddr(mi, k.bn, addr)
 				if err != nil {

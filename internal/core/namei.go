@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/layout"
 )
@@ -18,24 +17,31 @@ type FileInfo struct {
 	Atime   uint64
 }
 
-// splitPath normalizes a slash-separated path into components. Empty
-// components and "." are ignored; ".." is not supported.
-func splitPath(p string) ([]string, error) {
-	parts := strings.Split(p, "/")
-	out := parts[:0]
-	for _, c := range parts {
+// pathComponent scans p from offset start and returns the next path
+// component (a substring of p, so no allocation) plus the offset to
+// resume scanning from. Empty components and "." are skipped; ".." is
+// rejected; an over-long component is an error. The end of the path is
+// signalled by an empty component.
+func pathComponent(p string, start int) (string, int, error) {
+	for i := start; i < len(p); {
+		j := i
+		for j < len(p) && p[j] != '/' {
+			j++
+		}
+		c := p[i:j]
+		i = j + 1
 		switch c {
 		case "", ".":
 			continue
 		case "..":
-			return nil, fmt.Errorf("%w: %q", ErrBadPath, p)
+			return "", 0, fmt.Errorf("%w: %q", ErrBadPath, p)
 		}
 		if len(c) > layout.MaxNameLen {
-			return nil, fmt.Errorf("%w: component too long in %q", ErrBadPath, p)
+			return "", 0, fmt.Errorf("%w: component too long in %q", ErrBadPath, p)
 		}
-		out = append(out, c)
+		return c, i, nil
 	}
-	return out, nil
+	return "", len(p), nil
 }
 
 // loadDir returns the (cached) entries of directory inum. It may run
@@ -130,48 +136,60 @@ func (fs *FS) lookup(dirInum uint32, name string) (uint32, bool, error) {
 	return 0, false, nil
 }
 
-// resolve walks path to an inum.
+// resolve walks path to an inum. Components are consumed straight off
+// the path string (pathComponent), so resolution allocates nothing —
+// this is part of the zero-allocation cached-read contract pinned by
+// TestAllocsCachedRead.
 func (fs *FS) resolve(path string) (uint32, error) {
-	parts, err := splitPath(path)
-	if err != nil {
-		return 0, err
-	}
 	inum := RootInum
-	for _, name := range parts {
-		next, ok, err := fs.lookup(inum, name)
+	for i := 0; ; {
+		name, next, err := pathComponent(path, i)
+		if err != nil {
+			return 0, err
+		}
+		if name == "" {
+			return inum, nil
+		}
+		child, ok, err := fs.lookup(inum, name)
 		if err != nil {
 			return 0, err
 		}
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrNotFound, path)
 		}
-		inum = next
+		inum, i = child, next
 	}
-	return inum, nil
 }
 
 // resolveParent walks to the parent directory of path and returns the
-// final name component.
+// final name component. Like resolve it allocates nothing: the walk
+// looks one component ahead so the last one is returned, not resolved.
 func (fs *FS) resolveParent(path string) (uint32, string, error) {
-	parts, err := splitPath(path)
+	name, i, err := pathComponent(path, 0)
 	if err != nil {
 		return 0, "", err
 	}
-	if len(parts) == 0 {
+	if name == "" {
 		return 0, "", fmt.Errorf("%w: %q has no final component", ErrBadPath, path)
 	}
 	inum := RootInum
-	for _, name := range parts[:len(parts)-1] {
-		next, ok, err := fs.lookup(inum, name)
+	for {
+		peek, j, err := pathComponent(path, i)
+		if err != nil {
+			return 0, "", err
+		}
+		if peek == "" {
+			return inum, name, nil
+		}
+		child, ok, err := fs.lookup(inum, name)
 		if err != nil {
 			return 0, "", err
 		}
 		if !ok {
 			return 0, "", fmt.Errorf("%w: %q", ErrNotFound, path)
 		}
-		inum = next
+		inum, name, i = child, peek, j
 	}
-	return inum, parts[len(parts)-1], nil
 }
 
 // logDirOp appends a record to the directory operation log (Section 4.2).
@@ -316,9 +334,12 @@ func (fs *FS) Mkdir(path string) error {
 func (fs *FS) WriteAt(path string, off int64, data []byte) (int, error) {
 	release := fs.opAdmit(writeBudget(len(data)))
 	defer release()
-	// Chop the block-aligned body into private buffers outside fs.mu, so
-	// the staging critical section installs pointers instead of copying.
-	prep := prepareWrite(off, data)
+	// Chop the block-aligned body into private pooled buffers outside
+	// fs.mu, so the staging critical section installs pointers instead
+	// of copying. Deferred before the lock, release runs after Unlock
+	// and returns whatever an early error left unconsumed.
+	prep := fs.prepareWrite(off, data)
+	defer prep.release(fs.bpool)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -350,7 +371,8 @@ func (fs *FS) WriteAt(path string, off int64, data []byte) (int, error) {
 func (fs *FS) WriteFile(path string, data []byte) error {
 	release := fs.opAdmit(opBudgetDirOp + writeBudget(len(data)))
 	defer release()
-	prep := prepareWrite(0, data)
+	prep := fs.prepareWrite(0, data)
+	defer prep.release(fs.bpool)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if !fs.mounted {
@@ -422,7 +444,8 @@ func (fs *FS) ReadAt(path string, off int64, buf []byte) (int, error) {
 	if !fs.mounted {
 		return 0, ErrUnmounted
 	}
-	defer fs.readerEnter()()
+	fs.readerEnter()
+	defer fs.readerExit()
 	defer fs.traceOp("read")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
@@ -445,7 +468,8 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 	if !fs.mounted {
 		return nil, ErrUnmounted
 	}
-	defer fs.readerEnter()()
+	fs.readerEnter()
+	defer fs.readerExit()
 	defer fs.traceOp("read")()
 	fs.tick()
 	mi, err := fs.resolveFile(path)
@@ -521,7 +545,8 @@ func (fs *FS) Stat(path string) (FileInfo, error) {
 	if !fs.mounted {
 		return FileInfo{}, ErrUnmounted
 	}
-	defer fs.readerEnter()()
+	fs.readerEnter()
+	defer fs.readerExit()
 	inum, err := fs.resolve(path)
 	if err != nil {
 		return FileInfo{}, err
@@ -552,7 +577,8 @@ func (fs *FS) ReadDir(path string) ([]layout.DirEntry, error) {
 	if !fs.mounted {
 		return nil, ErrUnmounted
 	}
-	defer fs.readerEnter()()
+	fs.readerEnter()
+	defer fs.readerExit()
 	inum, err := fs.resolve(path)
 	if err != nil {
 		return nil, err

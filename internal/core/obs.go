@@ -7,15 +7,19 @@ import (
 var noopTimer = func() {}
 
 // readerEnter tracks one in-flight read-only operation for the reader
-// concurrency gauges. Use as: defer fs.readerEnter()().
-func (fs *FS) readerEnter() func() {
+// concurrency gauges. Pair with readerExit: fs.readerEnter(); defer
+// fs.readerExit(). A method pair rather than a returned closure so the
+// cached-read path allocates nothing.
+func (fs *FS) readerEnter() {
 	n := fs.readersNow.Add(1)
 	fs.tr.Add(obs.CtrReadersActive, 1)
 	fs.tr.SetMax(obs.CtrReadersPeak, n)
-	return func() {
-		fs.readersNow.Add(-1)
-		fs.tr.Add(obs.CtrReadersActive, -1)
-	}
+}
+
+// readerExit is readerEnter's other half.
+func (fs *FS) readerExit() {
+	fs.readersNow.Add(-1)
+	fs.tr.Add(obs.CtrReadersActive, -1)
 }
 
 // traceOp times one public operation in simulated disk time and records

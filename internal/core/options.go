@@ -91,6 +91,14 @@ type Options struct {
 	// always hit the disk, which is what the paper's micro-benchmarks
 	// measure after their cache flush).
 	ReadCacheBlocks int
+	// PoolBlocks bounds the idle block-buffer freelist that the read,
+	// write and cleaner hot paths recycle their buffers through (see
+	// internal/bufpool and DESIGN.md "Buffer ownership and pooling").
+	// Default (0): 2*WriteBufferBlocks + SegmentBlocks, enough to turn
+	// the steady-state write path allocation-free. Negative disables
+	// pooling: every Get allocates, every Put drops, so the call-site
+	// ownership discipline is exercised without buffer reuse.
+	PoolBlocks int
 	// Clock supplies logical time for mtimes and cleaning ages. The
 	// default is an internal tick that advances on every operation.
 	Clock func() uint64
@@ -162,6 +170,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AdmitBudgetBlocks == 0 {
 		o.AdmitBudgetBlocks = 2 * o.WriteBufferBlocks
+	}
+	if o.PoolBlocks == 0 {
+		o.PoolBlocks = 2*o.WriteBufferBlocks + o.SegmentBlocks
+	} else if o.PoolBlocks < 0 {
+		o.PoolBlocks = 0 // pooling disabled: Get allocates, Put drops
 	}
 	if o.CleanLowWater == 0 {
 		o.CleanLowWater = 16

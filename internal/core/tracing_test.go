@@ -69,12 +69,17 @@ func TestReadCoalescingPopulatesCache(t *testing.T) {
 	}
 }
 
-// TestReadDiskBlockReturnsCopy is the regression test for the cache
-// aliasing bug: readDiskBlock used to return the read cache's backing
-// slice, so a caller mutating the returned block corrupted the cache.
-func TestReadDiskBlockReturnsCopy(t *testing.T) {
+// TestReadDiskBlockNotAliasedByPool extends the PR 1 aliasing
+// regression (readDiskBlock returning the cache's backing slice, which
+// callers then mutated) into the freelist era. readDiskBlock now hands
+// out read-only views that may be cache storage; the invariant under
+// test is the reverse direction of the old bug: a buffer that has been
+// visible to a reader is never returned to the pool, so no amount of
+// pooled write/read/cleaner churn may scribble on it — even after the
+// cache evicts or invalidates its address.
+func TestReadDiskBlockNotAliasedByPool(t *testing.T) {
 	opts := testOptions()
-	opts.ReadCacheBlocks = 64
+	opts.ReadCacheBlocks = 4 // tiny: the churn below evicts addr quickly
 	fs, _ := newTestFS(t, 2048, opts)
 
 	content := bytes.Repeat([]byte("aliasing"), layout.BlockSize/8)
@@ -97,26 +102,34 @@ func TestReadDiskBlockReturnsCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	first, err := fs.readDiskBlock(addr) // miss: populates the cache
+	first, err := fs.readDiskBlock(addr) // miss: the cache takes this buffer
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := fs.readDiskBlock(addr) // hit: must be a private copy
-	if err != nil {
-		t.Fatal(err)
+	snap := append([]byte(nil), first...)
+
+	// Pool churn: every overwrite cycles block buffers through dcache →
+	// staged → freelist → next Get, and the interleaved reads push addr
+	// out of the 4-block cache. If eviction fed the buffer back to the
+	// pool, one of these writers would overwrite first in place.
+	other := bytes.Repeat([]byte{0x5a}, 2*layout.BlockSize)
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("/churn%d", i%8)
+		if err := fs.WriteFile(name, other); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.ReadFile(name); err != nil {
+			t.Fatal(err)
+		}
 	}
-	for i := range second {
-		second[i] ^= 0xff
-	}
-	third, err := fs.readDiskBlock(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(third, first) {
-		t.Fatal("mutating a block returned by readDiskBlock corrupted the cache")
+	if !bytes.Equal(first, snap) {
+		t.Fatal("slice returned by readDiskBlock was recycled and overwritten by pooled writers")
 	}
 	if got, err := fs.ReadFile("/f"); err != nil || !bytes.Equal(got, content) {
-		t.Fatalf("file content changed after mutating a returned block: %v", err)
+		t.Fatalf("file content changed under pool churn: %v", err)
 	}
 }
 

@@ -22,6 +22,12 @@
 // verifying each against the checksum recorded in its segment summary,
 // so latent media corruption is found before a read path trips over it.
 // Exit status: 0 clean, 1 corruption found or unmountable.
+//
+// Media-fault health is visible interactively: `segs` lists segments
+// quarantined by corrupt reads or refused writes, and `stats` includes
+// the write-fault ladder counters (fs.media.write.retries/errors/
+// relocations and fs.seg.retired) alongside the read-side media
+// counters.
 package main
 
 import (
@@ -335,6 +341,11 @@ func runCmd(img string, d *lfs.Disk, fsp **lfs.FS, rng *rand.Rand, args []string
 		for b, n := range hist {
 			bar := strings.Repeat("#", n*50/len(utils))
 			fmt.Printf("%.1f-%.1f %5d %s\n", float64(b)/10, float64(b+1)/10, n, bar)
+		}
+		// Segments withdrawn from service: corrupt reads or refused
+		// writes (see fs.seg.retired and fs.media.write.* in stats).
+		if qs := fs.QuarantinedSegments(); len(qs) > 0 {
+			fmt.Printf("quarantined: %d segment(s) %v\n", len(qs), qs)
 		}
 	case "sync":
 		fail(fs.Sync())

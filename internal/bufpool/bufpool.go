@@ -201,3 +201,62 @@ func (p *RunPool) Stats() Stats {
 	}
 	return s
 }
+
+// Free is the typed sibling of Pool: a bounded, mutex-guarded LIFO
+// freelist for reusable scratch values that are not byte buffers —
+// decoded-summary scratch, inode-pointer slices, and the like. Unlike
+// Pool it cannot validate shape, so the same ownership discipline
+// applies: a value obtained from Get is exclusively the caller's until
+// Put, and nothing the value references may be retained past Put.
+type Free[T any] struct {
+	mu    sync.Mutex
+	free  []T
+	max   int
+	stats Stats
+}
+
+// NewFree returns a freelist keeping at most max idle values. max <= 0
+// disables recycling, preserving call-site structure with pooling off.
+func NewFree[T any](max int) *Free[T] {
+	return &Free[T]{max: max}
+}
+
+// Get pops a parked value. ok is false when the freelist is empty and
+// the caller must construct a fresh value.
+func (f *Free[T]) Get() (v T, ok bool) {
+	f.mu.Lock()
+	f.stats.Gets++
+	if n := len(f.free); n > 0 {
+		v = f.free[n-1]
+		var zero T
+		f.free[n-1] = zero
+		f.free = f.free[:n-1]
+		f.stats.Hits++
+		f.mu.Unlock()
+		return v, true
+	}
+	f.stats.Misses++
+	f.mu.Unlock()
+	return v, false
+}
+
+// Put parks a value for reuse; values beyond the capacity bound are
+// dropped to the GC.
+func (f *Free[T]) Put(v T) {
+	f.mu.Lock()
+	if len(f.free) >= f.max {
+		f.stats.Drops++
+		f.mu.Unlock()
+		return
+	}
+	f.stats.Puts++
+	f.free = append(f.free, v)
+	f.mu.Unlock()
+}
+
+// Stats snapshots the freelist counters.
+func (f *Free[T]) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}

@@ -83,6 +83,62 @@ func TestAllocsCachedStat(t *testing.T) {
 	}
 }
 
+// TestAllocsCleanerDecodeScratch pins the cleaner's pooled decode
+// scratch. A cleaning pass decodes one summary per partial write and one
+// packed inode block per live inode block; with the freelists warm, a
+// summary decode must allocate nothing (DecodeSummaryInto reuses the
+// entry slice) and an inode-block decode must allocate exactly one value
+// per decoded inode — the *Inode values escape to the inode cache, so
+// they are the irreducible cost; the slice backing must recycle.
+func TestAllocsCleanerDecodeScratch(t *testing.T) {
+	opts := testOptions()
+	opts.NoGroupCommit = true
+	fs, _ := newTestFS(t, 2048, opts)
+
+	sum := &layout.Summary{WriteSeq: 7, NextSeg: 3}
+	for i := 0; i < layout.MaxSummaryEntries; i++ {
+		sum.Entries = append(sum.Entries, layout.SummaryEntry{
+			Kind: layout.KindData, Inum: uint32(i + 2), BlockNo: uint32(i),
+		})
+	}
+	sumBuf, err := sum.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeSum := func() {
+		s := fs.getSummaryScratch()
+		if err := layout.DecodeSummaryInto(sumBuf, s); err != nil {
+			t.Fatal(err)
+		}
+		fs.putSummaryScratch(s)
+	}
+	decodeSum() // warm: grows the scratch to MaxSummaryEntries once
+	if avg := testing.AllocsPerRun(200, decodeSum); avg != 0 {
+		t.Fatalf("warm summary decode allocates %.2f times per op, want 0", avg)
+	}
+
+	inodes := make([]*layout.Inode, 0, layout.InodesPerBlock)
+	for i := 0; i < layout.InodesPerBlock; i++ {
+		inodes = append(inodes, layout.NewInode(uint32(i+2), layout.FileTypeRegular))
+	}
+	inoBuf, err := layout.EncodeInodeBlock(inodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeIno := func() {
+		v, err := layout.DecodeInodeBlockAppend(inoBuf, fs.getInodeScratch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.putInodeScratch(v)
+	}
+	decodeIno()
+	want := float64(layout.InodesPerBlock)
+	if avg := testing.AllocsPerRun(200, decodeIno); avg != want {
+		t.Fatalf("warm inode-block decode allocates %.2f times per op, want exactly %.0f (one per decoded inode)", avg, want)
+	}
+}
+
 // TestPooledPathsUnderRaceStress hammers every pooled path — pooled
 // RMW and full-block writes, pooled uncached reads (no rcache), cache
 // fills (rcache), truncate reclaim, and the cleaner's pooled segment

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
 
+	"repro/internal/disk"
 	"repro/internal/obs"
 )
 
@@ -130,7 +132,15 @@ func (fs *FS) cleanerRun() {
 		progressed, err := fs.cleanStep(fs.opts.CleanHighWater)
 		fs.cleanerOwner = false
 		if err != nil {
-			fs.cleanerErr = err
+			// A media write error the relocation machinery already
+			// absorbed (quarantine + replay) is not a reason to stop
+			// cleaning for the life of the mount: skip this run and let
+			// the next kick retry against the surviving segments. Only
+			// errors that tore state — including relocation failures,
+			// which degrade — latch cleanerErr and shut the cleaner down.
+			if !errors.Is(err, disk.ErrMediaWrite) || fs.degraded.Load() {
+				fs.cleanerErr = err
+			}
 		} else if progressed {
 			fs.tr.Add(obs.CtrCleanerBgPasses, 1)
 		}

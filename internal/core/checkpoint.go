@@ -1,6 +1,10 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
 	"repro/internal/layout"
 	"repro/internal/obs"
 )
@@ -108,10 +112,48 @@ func (fs *FS) checkpointLocked() error {
 	if err != nil {
 		return err
 	}
-	if err := fs.dev.Write(fs.sb.CheckpointAddr[fs.cpWhich], buf); err != nil {
-		return err
+	// A region whose media refuses the write (after bounded retries) is
+	// retired for the life of the mount and the checkpoint falls back to
+	// the alternate region. With one region retired there is no
+	// alternation left — every later checkpoint overwrites the survivor —
+	// and only when both regions refuse writes does the file system
+	// degrade: the last checkpoint that did land stays valid on disk.
+	target := fs.cpWhich
+	if fs.cpBad[target] {
+		target = 1 - target
 	}
-	fs.cpWhich = 1 - fs.cpWhich
+	werr := fs.writeRetry(fs.sb.CheckpointAddr[target], buf)
+	if errors.Is(werr, disk.ErrMediaWrite) {
+		fs.cpBad[target] = true
+		alt := 1 - target
+		if fs.cpBad[alt] {
+			fs.degrade(fmt.Sprintf("both checkpoint regions unwritable: %v", werr))
+			return fmt.Errorf("lfs: both checkpoint regions unwritable: %w", werr)
+		}
+		fs.tr.Add(obs.CtrMediaWriteRelocations, 1)
+		target = alt
+		werr = fs.writeRetry(fs.sb.CheckpointAddr[target], buf)
+		if errors.Is(werr, disk.ErrMediaWrite) {
+			fs.cpBad[target] = true
+			fs.degrade(fmt.Sprintf("both checkpoint regions unwritable: %v", werr))
+			return fmt.Errorf("lfs: both checkpoint regions unwritable: %w", werr)
+		}
+	}
+	if werr != nil {
+		return werr
+	}
+	fs.cpWhich = 1 - target
+
+	// The region write committed the new recovery root. If a write-fault
+	// relocation had punched a hole in the log, everything replayed after
+	// it is now reachable again — perform the acknowledgements flushLog
+	// deferred (NVRAM clear and the disk durability epoch).
+	if fs.relocatedSinceCp {
+		fs.relocatedSinceCp = false
+		fs.nvClear()
+		fs.flushedSeq.Store(fs.stageSeq.Load())
+		fs.admitFlushed()
+	}
 
 	// The checkpoint is durable: release the cleaned segments for reuse.
 	// Segments quarantined since they were cleaned stay withdrawn, and a

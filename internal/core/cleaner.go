@@ -359,6 +359,41 @@ func (fs *FS) cleanSegment(seg int64) error {
 	return fs.stageLiveCopies(lives)
 }
 
+// getSummaryScratch draws a reusable decoded-summary scratch from the
+// freelist (or allocates one pre-grown to the maximum entry count).
+// putSummaryScratch parks it again with its entries cleared; the entries
+// are copied by value wherever they are retained, so nothing aliases the
+// scratch after Put.
+func (fs *FS) getSummaryScratch() *layout.Summary {
+	if s, ok := fs.sumFree.Get(); ok {
+		return s
+	}
+	return &layout.Summary{Entries: make([]layout.SummaryEntry, 0, layout.MaxSummaryEntries)}
+}
+
+func (fs *FS) putSummaryScratch(s *layout.Summary) {
+	s.Entries = s.Entries[:0]
+	fs.sumFree.Put(s)
+}
+
+// getInodeScratch and putInodeScratch recycle the inode-pointer slice
+// the cleaner decodes packed inode blocks into. Only the backing array
+// is reused: the *Inode values escape to the inode cache, and Put nils
+// the slots so the freelist does not pin them.
+func (fs *FS) getInodeScratch() []*layout.Inode {
+	if v, ok := fs.inoFree.Get(); ok {
+		return v[:0]
+	}
+	return make([]*layout.Inode, 0, layout.InodesPerBlock)
+}
+
+func (fs *FS) putInodeScratch(v []*layout.Inode) {
+	for i := range v {
+		v[i] = nil
+	}
+	fs.inoFree.Put(v[:0])
+}
+
 // collectLiveFull reads the whole segment in a single request and
 // extracts its live blocks. Each partial write's DataChecksum is
 // verified before any of its blocks are copied forward: a corrupt
@@ -385,10 +420,11 @@ func (fs *FS) collectLiveFull(seg int64) ([]liveCopy, error) {
 	fs.tr.Add(obs.CtrCleanerReadBytes, fs.segBytes)
 
 	var lives []liveCopy
+	s := fs.getSummaryScratch()
+	defer fs.putSummaryScratch(s)
 	off := int64(0)
 	for off <= fs.segBlocks-2 {
-		s, err := layout.DecodeSummary(buf[off*layout.BlockSize : (off+1)*layout.BlockSize])
-		if err != nil {
+		if err := layout.DecodeSummaryInto(buf[off*layout.BlockSize:(off+1)*layout.BlockSize], s); err != nil {
 			break // end of the summary chain
 		}
 		n := int64(len(s.Entries))
@@ -431,6 +467,8 @@ func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
 		addr int64
 	}
 	var wants []want
+	s := fs.getSummaryScratch()
+	defer fs.putSummaryScratch(s)
 	off := int64(0)
 	for off <= fs.segBlocks-2 {
 		sumBuf, err := fs.readBlockRetry(start + off)
@@ -445,8 +483,7 @@ func (fs *FS) collectLiveSparse(seg int64) ([]liveCopy, error) {
 		}
 		fs.stats.CleanerReadBytes += layout.BlockSize
 		fs.tr.Add(obs.CtrCleanerReadBytes, layout.BlockSize)
-		s, err := layout.DecodeSummary(sumBuf)
-		if err != nil {
+		if err := layout.DecodeSummaryInto(sumBuf, s); err != nil {
 			break
 		}
 		n := int64(len(s.Entries))
@@ -581,8 +618,10 @@ func (fs *FS) handleLiveEntry(e layout.SummaryEntry, addr int64, block []byte) (
 		}
 		fs.markInodeDirty(e.Inum)
 	case layout.KindInode:
-		inodes, err := layout.DecodeInodeBlock(block)
+		scratch := fs.getInodeScratch()
+		inodes, err := layout.DecodeInodeBlockAppend(block, scratch)
 		if err != nil {
+			fs.putInodeScratch(scratch)
 			// The block's own checksum disagrees with its summary entry:
 			// leave it in place in a quarantined segment rather than
 			// abort the pass or relocate garbage.
@@ -599,6 +638,7 @@ func (fs *FS) handleLiveEntry(e layout.SummaryEntry, addr int64, block []byte) (
 				fs.markInodeDirty(ino.Inum)
 			}
 		}
+		fs.putInodeScratch(inodes)
 	case layout.KindImap:
 		fs.imap.markDirty(int(e.Inum))
 	case layout.KindSegUsage, layout.KindDirLog:

@@ -44,6 +44,13 @@ var (
 // that kept failing after the bounded retry budget.
 var ErrMediaRead = disk.ErrMediaRead
 
+// ErrMediaWrite is the write-side twin of ErrMediaRead: a device write
+// that kept failing after the bounded retry budget. Callers rarely see it
+// — the write path relocates refused log batches and redirects refused
+// checkpoints — so it surfaces only wrapped in degrade-path errors, once
+// there was nothing left to relocate into.
+var ErrMediaWrite = disk.ErrMediaWrite
+
 // ErrCorrupted reports a block whose contents failed checksum
 // verification against the segment summary (or its own self-checksum).
 // Ino and Offset locate the damage in the file the reader was walking

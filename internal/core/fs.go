@@ -75,6 +75,12 @@ type FS struct {
 	// never returns to the pool; see DESIGN.md).
 	bpool *bufpool.Pool
 	rpool *bufpool.RunPool
+	// Cleaner decode scratch: summary structs (whose entry slices grow to
+	// MaxSummaryEntries) and inode-pointer slices reused across the many
+	// decodes a cleaning pass performs. The decoded *Inode values escape
+	// into the inode cache, so only the slice backings recycle.
+	sumFree *bufpool.Free[*layout.Summary]
+	inoFree *bufpool.Free[[]*layout.Inode]
 	// Read cache for clean blocks (bounded FIFO; optional). rcacheMu
 	// guards all four fields: the ring holds the eviction order, and an
 	// invalidated address leaves a tombstone count so its stale ring
@@ -118,6 +124,10 @@ type FS struct {
 	dirLogSeq uint64
 	cpSeq     uint64
 	cpWhich   int
+	// cpBad marks checkpoint regions whose media refused a write: a bad
+	// region is never written again, every later checkpoint goes to the
+	// survivor, and losing both degrades the file system.
+	cpBad     [2]bool
 	nextInum  uint32
 	freeInums []uint32
 
@@ -130,6 +140,11 @@ type FS struct {
 	inRecovery   bool
 	cpActive     bool
 	nvReplaying  bool
+	// relocatedSinceCp is set when a write-fault relocation leaves a
+	// hole in the on-disk log and cleared once a checkpoint commits the
+	// post-relocation head as the recovery root; while set, flushes must
+	// checkpoint before acknowledging (see flushLog).
+	relocatedSinceCp bool
 	// recomputeSegs marks segments whose usage will be recomputed from
 	// scratch during recovery; decrements against them are suppressed.
 	recomputeSegs map[int64]bool
@@ -340,6 +355,11 @@ func newFS(dev *disk.Disk, opts Options, sb *layout.Superblock) *FS {
 		perClass = 0 // pooling disabled (Options.PoolBlocks < 0)
 	}
 	fs.rpool = bufpool.NewRun(layout.BlockSize, int(segBlocks), perClass)
+	// One parked value per freelist covers the single cleaner (cleaning
+	// runs one pass at a time under fs.mu); disabling byte-buffer pooling
+	// disables these too so alloc-measurement baselines stay honest.
+	fs.sumFree = bufpool.NewFree[*layout.Summary](perClass)
+	fs.inoFree = bufpool.NewFree[[]*layout.Inode](perClass)
 	if opts.ReadCacheBlocks > 0 {
 		fs.rcache = make(map[int64][]byte)
 		fs.rcacheDead = make(map[int64]int)

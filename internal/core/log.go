@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/disk"
 	"repro/internal/layout"
 	"repro/internal/obs"
 )
@@ -109,131 +110,169 @@ func (fs *FS) flushPending() error {
 		batch := fs.pending[:n]
 		fs.pending = fs.pending[n:]
 
-		sumAddr := fs.segStart(fs.head) + fs.headOff
-		now := fs.now()
-
-		// Phase 1: assign addresses and update all pointers/accounting.
-		for i := range batch {
-			addr := sumAddr + 1 + int64(i)
-			if batch[i].placed != nil {
-				if err := batch[i].placed(addr); err != nil {
-					return err
-				}
+		// Write the batch at the current head. A head whose media refuses
+		// the write (after bounded in-place retries) is retired —
+		// quarantined, never reused — and the batch replayed into a fresh
+		// segment. Each replay re-runs both phases: placement moves every
+		// pointer to the new addresses (the decLive against the poisoned
+		// placement cancels its accounting) and re-encoding lets
+		// self-describing metadata capture the new location. Only when no
+		// clean segment remains does the file system degrade (inside
+		// relocateHead): a single bad segment never takes the volume
+		// read-only.
+		for {
+			err := fs.writeBatch(batch)
+			if err == nil {
+				break
 			}
-			if err := fs.usage.addLive(fs.head, layout.BlockSize); err != nil {
+			if !errors.Is(err, disk.ErrMediaWrite) {
 				return err
 			}
-			fs.invalidateCachedBlock(addr)
-		}
-		fs.usage.noteWrite(fs.head, now)
-		fs.invalidateCachedBlock(sumAddr)
-
-		// Phase 2: encode contents (late-bound encoders see final state).
-		// buf comes from the run pool; every error return below degrades
-		// the file system (see flushLog), so the buffer is still returned
-		// on those paths while the staged data buffers are leaked to GC.
-		buf := fs.rpool.Get(1 + n)
-		entries := make([]layout.SummaryEntry, n)
-		var youngest uint64
-		for i := range batch {
-			b := &batch[i]
-			b.entry.Age = b.age
-			content := b.data
-			if content == nil {
-				var err error
-				content, err = b.encode()
-				if err != nil {
-					fs.rpool.Put(buf)
-					return err
-				}
-			}
-			if len(content) != layout.BlockSize {
-				fs.rpool.Put(buf)
-				return fmt.Errorf("%w: staged block has %d bytes", ErrCorrupt, len(content))
-			}
-			copy(buf[(1+i)*layout.BlockSize:], content)
-			b.entry.Sum = layout.Checksum(content)
-			entries[i] = b.entry
-			if b.age > youngest {
-				youngest = b.age
+			if rerr := fs.relocateHead(err); rerr != nil {
+				return rerr
 			}
 		}
-		// The last partial write of the flush carries the transaction-end
-		// marker: everything this flush acknowledged is on disk once this
-		// write lands. NVRAM-backed recovery uses it to discard torn
-		// flush groups atomically (see rollForwardScan).
-		var flags uint8
-		if len(fs.pending) == 0 {
-			flags = layout.SummaryFlagTxnEnd
-		}
-		summary := &layout.Summary{
-			WriteSeq:     fs.writeSeq,
-			Timestamp:    now,
-			NextSeg:      fs.nextSeg,
-			YoungestAge:  youngest,
-			DataChecksum: layout.Checksum(buf[layout.BlockSize:]),
-			Flags:        flags,
-			Entries:      entries,
-		}
-		sumBlock, err := summary.Encode()
-		if err != nil {
-			fs.rpool.Put(buf)
-			return err
-		}
-		// The data blocks are written before the summary that describes
-		// them: a summary on disk therefore implies its data is complete,
-		// so roll-forward never needs to read (or checksum) file data —
-		// recovery cost stays proportional to the number of files, not
-		// the volume of data (Table 3). A crash between the two writes
-		// leaves an unreachable, harmless tail.
-		if err := fs.dev.Write(sumAddr+1, buf[layout.BlockSize:]); err != nil {
-			fs.rpool.Put(buf)
-			return err
-		}
-		if err := fs.dev.Write(sumAddr, sumBlock); err != nil {
-			fs.rpool.Put(buf)
-			return err
-		}
-		// The device copied everything out, so the run buffer and the
-		// pooled staged data buffers go back to their freelists. This is
-		// the back half of the write path's closed loop: prepareWrite /
-		// writeAt Get → dcache → staged → Put here.
-		fs.rpool.Put(buf)
-		for i := range batch {
-			if batch[i].pooled {
-				fs.bpool.Put(batch[i].data)
-				batch[i].data = nil
-			}
-		}
-		// Remember each block's checksum so verify-on-read can check it
-		// without re-reading the summary from disk.
-		for i := range entries {
-			fs.recordBlockSum(sumAddr+1+int64(i), entries[i].Sum)
-		}
-
-		fs.writeSeq++
-		fs.headOff += int64(1 + n)
-		fs.bytesSinceCp += int64(1+n) * layout.BlockSize
-		fs.stats.PartialWrites++
-		fs.stats.SummaryBytes += layout.BlockSize
-		var byKind [8]int64
-		var cleanerBytes int64
-		for i := range batch {
-			b := &batch[i]
-			fs.stats.addKind(b.entry.Kind, layout.BlockSize)
-			byKind[b.entry.Kind] += layout.BlockSize
-			if b.cleaner {
-				fs.stats.CleanerWriteBytes += layout.BlockSize
-				cleanerBytes += layout.BlockSize
-			} else {
-				fs.stats.NewDataBytes += layout.BlockSize
-			}
-			if fs.inRecovery {
-				fs.stats.RollForwardWrites++
-			}
-		}
-		fs.tracePartialWrite(sumAddr, n, byKind, cleanerBytes)
 	}
+	return nil
+}
+
+// writeBatch runs the two-phase partial-segment write of one batch at the
+// current log head: Phase 1 assigns addresses and updates every pointer
+// and accounting entry, Phase 2 encodes contents and issues the device
+// writes (data before the summary that describes it). A media write error
+// return leaves the batch placed at the refused addresses; the caller
+// relocates the head and calls writeBatch again, which re-places and
+// re-encodes everything against the new segment.
+func (fs *FS) writeBatch(batch []stagedBlock) error {
+	n := len(batch)
+	sumAddr := fs.segStart(fs.head) + fs.headOff
+	now := fs.now()
+
+	// Phase 1: assign addresses and update all pointers/accounting.
+	for i := range batch {
+		addr := sumAddr + 1 + int64(i)
+		if batch[i].placed != nil {
+			if err := batch[i].placed(addr); err != nil {
+				return err
+			}
+		}
+		if err := fs.usage.addLive(fs.head, layout.BlockSize); err != nil {
+			return err
+		}
+		fs.invalidateCachedBlock(addr)
+	}
+	fs.usage.noteWrite(fs.head, now)
+	fs.invalidateCachedBlock(sumAddr)
+
+	// Phase 2: encode contents (late-bound encoders see final state).
+	// buf comes from the run pool; every error return below either
+	// degrades the file system (see flushLog) or relocates and retries
+	// (media write errors), so the buffer is returned on those paths
+	// while the staged data buffers stay with the batch.
+	buf := fs.rpool.Get(1 + n)
+	entries := make([]layout.SummaryEntry, n)
+	var youngest uint64
+	for i := range batch {
+		b := &batch[i]
+		b.entry.Age = b.age
+		content := b.data
+		if content == nil {
+			var err error
+			content, err = b.encode()
+			if err != nil {
+				fs.rpool.Put(buf)
+				return err
+			}
+		}
+		if len(content) != layout.BlockSize {
+			fs.rpool.Put(buf)
+			return fmt.Errorf("%w: staged block has %d bytes", ErrCorrupt, len(content))
+		}
+		copy(buf[(1+i)*layout.BlockSize:], content)
+		b.entry.Sum = layout.Checksum(content)
+		entries[i] = b.entry
+		if b.age > youngest {
+			youngest = b.age
+		}
+	}
+	// The last partial write of the flush carries the transaction-end
+	// marker: everything this flush acknowledged is on disk once this
+	// write lands. NVRAM-backed recovery uses it to discard torn
+	// flush groups atomically (see rollForwardScan).
+	var flags uint8
+	if len(fs.pending) == 0 {
+		flags = layout.SummaryFlagTxnEnd
+	}
+	summary := &layout.Summary{
+		WriteSeq:     fs.writeSeq,
+		Timestamp:    now,
+		NextSeg:      fs.nextSeg,
+		YoungestAge:  youngest,
+		DataChecksum: layout.Checksum(buf[layout.BlockSize:]),
+		Flags:        flags,
+		Entries:      entries,
+	}
+	sumBlock, err := summary.Encode()
+	if err != nil {
+		fs.rpool.Put(buf)
+		return err
+	}
+	// The data blocks are written before the summary that describes
+	// them: a summary on disk therefore implies its data is complete,
+	// so roll-forward never needs to read (or checksum) file data —
+	// recovery cost stays proportional to the number of files, not
+	// the volume of data (Table 3). A crash between the two writes
+	// leaves an unreachable, harmless tail — as does a media write
+	// error: a failed data write leaves no summary behind, and a failed
+	// summary write leaves data no summary describes, so the refused
+	// partial write is invisible to roll-forward either way.
+	if err := fs.writeRetry(sumAddr+1, buf[layout.BlockSize:]); err != nil {
+		fs.rpool.Put(buf)
+		return err
+	}
+	if err := fs.writeRetry(sumAddr, sumBlock); err != nil {
+		fs.rpool.Put(buf)
+		return err
+	}
+	// The device copied everything out, so the run buffer and the
+	// pooled staged data buffers go back to their freelists. This is
+	// the back half of the write path's closed loop: prepareWrite /
+	// writeAt Get → dcache → staged → Put here.
+	fs.rpool.Put(buf)
+	for i := range batch {
+		if batch[i].pooled {
+			fs.bpool.Put(batch[i].data)
+			batch[i].data = nil
+		}
+	}
+	// Remember each block's checksum so verify-on-read can check it
+	// without re-reading the summary from disk.
+	for i := range entries {
+		fs.recordBlockSum(sumAddr+1+int64(i), entries[i].Sum)
+	}
+
+	fs.writeSeq++
+	fs.headOff += int64(1 + n)
+	fs.bytesSinceCp += int64(1+n) * layout.BlockSize
+	fs.stats.PartialWrites++
+	fs.stats.SummaryBytes += layout.BlockSize
+	var byKind [8]int64
+	var cleanerBytes int64
+	for i := range batch {
+		b := &batch[i]
+		fs.stats.addKind(b.entry.Kind, layout.BlockSize)
+		byKind[b.entry.Kind] += layout.BlockSize
+		if b.cleaner {
+			fs.stats.CleanerWriteBytes += layout.BlockSize
+			cleanerBytes += layout.BlockSize
+		} else {
+			fs.stats.NewDataBytes += layout.BlockSize
+		}
+		if fs.inRecovery {
+			fs.stats.RollForwardWrites++
+		}
+	}
+	fs.tracePartialWrite(sumAddr, n, byKind, cleanerBytes)
 	return nil
 }
 
@@ -305,6 +344,20 @@ func (fs *FS) flushLog() error {
 		return err
 	}
 	fs.dirtyBlocks = 0
+	if fs.relocatedSinceCp {
+		// A write-fault relocation left a hole in the on-disk log:
+		// roll-forward stops at the retired segment's refused write and
+		// cannot thread past it to the replayed batches. Until a
+		// checkpoint commits the new head (and the quarantine entry) as
+		// the recovery root, nothing covered by this flush may be
+		// acknowledged — so the NVRAM keeps its redo records and the
+		// disk durability epoch does not advance here; checkpointLocked
+		// performs both once the region write lands.
+		if !fs.inCheckpoint() {
+			return fs.checkpointLocked()
+		}
+		return nil
+	}
 	// Everything acknowledged so far is now recoverable by roll-forward,
 	// so the NVRAM redo records are no longer needed.
 	fs.nvClear()

@@ -139,6 +139,14 @@ type Options struct {
 	// sector errors that clear within the budget are invisible to
 	// callers apart from the retry counters.
 	MediaRetries int
+	// MediaWriteRetries bounds how many times a device write failing
+	// with a media error is retried in place before the write path gives
+	// up on the target — relocating log batches to a fresh segment and
+	// checkpoints to the alternate region (default 3, so up to 4
+	// attempts total; negative disables retries). Transient write faults
+	// that clear within the budget are invisible to callers apart from
+	// the retry counters.
+	MediaWriteRetries int
 	// NoVerifyReads disables checksum verification of blocks ingested by
 	// the read, cleaner, and roll-forward paths. Verification is on by
 	// default: every block coming off the disk is checked against the
@@ -200,6 +208,11 @@ func (o Options) withDefaults() Options {
 		o.MediaRetries = 3
 	} else if o.MediaRetries < 0 {
 		o.MediaRetries = 0
+	}
+	if o.MediaWriteRetries == 0 {
+		o.MediaWriteRetries = 3
+	} else if o.MediaWriteRetries < 0 {
+		o.MediaWriteRetries = 0
 	}
 	return o
 }

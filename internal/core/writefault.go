@@ -1,0 +1,69 @@
+// Write-side media-fault handling: the retry → relocate → quarantine →
+// degrade ladder. A log-structured file system can write its data
+// anywhere, so a segment whose media refuses a write is not a reason to
+// take the volume read-only — the staged batch is simply replayed into a
+// different clean segment and the bad one is retired. Degraded mode is
+// reached only when there is nothing left to relocate into.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// writeRetry issues one device write, retrying media write errors within
+// the Options.MediaWriteRetries budget. Transient faults that clear
+// within the budget are invisible to callers apart from the retry
+// counters; a write still failing afterwards is returned for the caller
+// to relocate (log batches) or redirect (checkpoints).
+func (fs *FS) writeRetry(addr int64, data []byte) error {
+	err := fs.dev.Write(addr, data)
+	for r := 0; r < fs.opts.MediaWriteRetries && errors.Is(err, disk.ErrMediaWrite); r++ {
+		fs.tr.Add(obs.CtrMediaWriteRetries, 1)
+		err = fs.dev.Write(addr, data)
+	}
+	if errors.Is(err, disk.ErrMediaWrite) {
+		fs.tr.Add(obs.CtrMediaWriteErrors, 1)
+	}
+	return err
+}
+
+// relocateHead retires the current head segment after its media refused a
+// batch write: the segment is quarantined (persisted with the next
+// checkpoint, never cleaned or reused; earlier partial writes in it stay
+// readable in place) and the log moves to a fresh clean segment so the
+// caller can replay the batch there. Relocation is privileged — it may
+// consume the cleaner reserve, because the only alternative is degraded
+// mode. When no clean segment remains the file system degrades: the
+// batch's pointers reference addresses the device never accepted, so the
+// torn state must never be flushed or checkpointed.
+func (fs *FS) relocateHead(cause error) error {
+	bad := fs.head
+	fs.quarantineSeg(bad)
+	fs.tr.Add(obs.CtrSegsRetired, 1)
+	next := fs.nextSeg
+	fs.nextSeg = layout.NilAddr
+	if next == layout.NilAddr || fs.isQuarantined(next) {
+		next = fs.popFreeSeg()
+	}
+	if next == layout.NilAddr {
+		fs.degrade(fmt.Sprintf("write relocation failed: no clean segment left after segment %d was retired: %v", bad, cause))
+		return fmt.Errorf("lfs: write relocation out of clean segments (segment %d retired): %w", bad, cause)
+	}
+	fs.usage.setActive(bad, false)
+	fs.head = next
+	fs.headOff = 0
+	fs.usage.setActive(fs.head, true)
+	fs.usage.noteWrite(fs.head, fs.now())
+	fs.nextSeg = fs.popFreeSeg()
+	// The hole left at the retired segment means roll-forward alone can
+	// no longer reach anything written from here on; flushLog checkpoints
+	// before acknowledging (see the relocatedSinceCp handling there).
+	fs.relocatedSinceCp = true
+	fs.tr.Add(obs.CtrMediaWriteRelocations, 1)
+	return nil
+}

@@ -73,6 +73,7 @@ type FaultSweepResult struct {
 // is allowed to surface as.
 func typedFaultErr(err error) bool {
 	return errors.Is(err, disk.ErrMediaRead) ||
+		errors.Is(err, disk.ErrMediaWrite) ||
 		errors.Is(err, core.ErrCorrupt) ||
 		errors.Is(err, core.ErrDegraded) ||
 		errors.Is(err, core.ErrNoCheckpoint) ||

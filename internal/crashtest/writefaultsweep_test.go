@@ -1,0 +1,55 @@
+package crashtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestWriteFaultSweep50Ops is the headline write-fault contract: a
+// 50-op workload, one armed write fault per traced write site and kind
+// (permanent and retry-absorbed transient), plus crash-during-relocation
+// and NVRAM-absorbed arms. Zero panics, every op absorbed, no degrade,
+// relocated state byte-identical to the fault-free baseline on both the
+// live mount and a remount.
+func TestWriteFaultSweep50Ops(t *testing.T) {
+	res, err := FaultSweepWrites(core.Script{Seed: 9001, N: 50}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites == 0 {
+		t.Fatal("sweep traced no write sites")
+	}
+	if res.Runs != 2*res.Sites {
+		t.Fatalf("Runs = %d, want %d (two fault kinds per site)", res.Runs, 2*res.Sites)
+	}
+	if res.Relocations == 0 {
+		t.Fatal("permanent write faults never exercised a relocation")
+	}
+	if res.Retries == 0 {
+		t.Fatal("write faults never exercised a bounded retry")
+	}
+	if res.CrashRuns == 0 {
+		t.Fatal("no crash-during-relocation arms ran")
+	}
+	if res.NVRuns == 0 {
+		t.Fatal("no NVRAM-absorbed arms ran")
+	}
+	t.Logf("writefaultsweep: %d sites, %d runs, %d relocations, %d retries, %d crash arms, %d nv arms",
+		res.Sites, res.Runs, res.Relocations, res.Retries, res.CrashRuns, res.NVRuns)
+}
+
+// TestWriteFaultSweepSampled exercises the explicit site-sampling path
+// on a second seed, bounding test time.
+func TestWriteFaultSweepSampled(t *testing.T) {
+	res, err := FaultSweepWrites(core.Script{Seed: 9002, N: 30}, Config{MaxFaultSites: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites == 0 {
+		t.Fatal("sweep traced no write sites")
+	}
+	if res.Runs != 2*res.Sites {
+		t.Fatalf("Runs = %d, want %d", res.Runs, 2*res.Sites)
+	}
+}

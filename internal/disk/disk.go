@@ -427,15 +427,26 @@ func (d *Disk) Write(addr int64, data []byte) error {
 	// torn write is charged only for its persisted prefix: the crash
 	// cuts the transfer short, and the simulated-time accounting must
 	// reflect the work the device actually did, or crash-recovery
-	// experiments overstate seek/transfer/busy time.
-	persist := n
-	torn := false
-	if d.armed && int64(n) > d.writesLeft {
-		persist = int(d.writesLeft)
-		torn = true
+	// experiments overstate seek/transfer/busy time. A media write fault
+	// is the opposite: the device did the full mechanical pass (charged
+	// for the attempted transfer, like read faults) but only the blocks
+	// before the failing address landed. When both apply, the power cut
+	// dominates — the device died before it could report the media error.
+	ferr, fpersist := d.applyWriteFaults(addr, n)
+	attempt := n // blocks of mechanical work charged
+	persist := n // blocks that actually land
+	if ferr != nil {
+		persist = fpersist
 	}
-	if persist > 0 {
-		seek, rot, xfer, sequential := d.charge(addr, persist)
+	torn := false
+	if d.armed && int64(persist) > d.writesLeft {
+		persist = int(d.writesLeft)
+		attempt = persist
+		torn = true
+		ferr = nil
+	}
+	if attempt > 0 {
+		seek, rot, xfer, sequential := d.charge(addr, attempt)
 		d.stats.WriteOps++
 		if d.armed {
 			d.writesLeft -= int64(persist)
@@ -444,9 +455,9 @@ func (d *Disk) Write(addr int64, data []byte) error {
 			b := d.blockForWrite(addr + int64(i))
 			copy(b, data[i*bs:(i+1)*bs])
 		}
-		d.stats.BlocksWritten += int64(persist)
+		d.stats.BlocksWritten += int64(attempt)
 		d.tr.Add(obs.CtrDiskWriteOps, 1)
-		d.tr.Add(obs.CtrDiskBlocksWritten, int64(persist))
+		d.tr.Add(obs.CtrDiskBlocksWritten, int64(attempt))
 		d.emitRequest("write", addr, persist, seek, rot, xfer, sequential, torn)
 	} else if torn {
 		d.emitRequest("write", addr, 0, 0, 0, 0, false, true)
@@ -455,7 +466,7 @@ func (d *Disk) Write(addr int64, data []byte) error {
 		d.crashed = true
 		return ErrCrashed
 	}
-	return nil
+	return ferr
 }
 
 // ReadBlock reads a single block into a freshly allocated buffer.

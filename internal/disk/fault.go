@@ -28,6 +28,25 @@ func (e *MediaError) Error() string {
 // Unwrap makes errors.Is(err, ErrMediaRead) match.
 func (e *MediaError) Unwrap() error { return ErrMediaRead }
 
+// ErrMediaWrite reports an unrecoverable (or not-yet-recovered transient)
+// media error on a write. It is the target for errors.Is; the concrete
+// error carries the failing block address.
+var ErrMediaWrite = errors.New("disk: media write error")
+
+// MediaWriteError is the concrete error returned when a write touches a
+// block covered by an active FaultWriteError fault. It unwraps to
+// ErrMediaWrite.
+type MediaWriteError struct {
+	Addr int64 // failing block address
+}
+
+func (e *MediaWriteError) Error() string {
+	return fmt.Sprintf("disk: media write error at block %d", e.Addr)
+}
+
+// Unwrap makes errors.Is(err, ErrMediaWrite) match.
+func (e *MediaWriteError) Unwrap() error { return ErrMediaWrite }
+
 // FaultKind selects what an injected fault does to reads.
 type FaultKind uint8
 
@@ -42,6 +61,13 @@ const (
 	// Seed and the block address, stable across repeated reads. The
 	// persisted contents are untouched (Peek sees the true bytes).
 	FaultCorrupt
+	// FaultWriteError makes writes covering the range fail with a
+	// *MediaWriteError. Blocks before the first failing address persist
+	// (the head of the transfer landed); the failing block and everything
+	// after it do not. If Transient > 0 the fault clears after that many
+	// failed write attempts; otherwise it is permanent until ClearFaults.
+	// Reads of the range are unaffected.
+	FaultWriteError
 )
 
 // Fault scripts one media fault over a block address range.
@@ -49,8 +75,9 @@ type Fault struct {
 	Kind   FaultKind
 	Addr   int64 // first block covered
 	Blocks int64 // blocks covered (0 means 1)
-	// Transient, for FaultReadError, is how many failed read attempts
-	// occur before the fault clears on its own. 0 means permanent.
+	// Transient, for FaultReadError and FaultWriteError, is how many
+	// failed attempts occur before the fault clears on its own. 0 means
+	// permanent.
 	Transient int
 	// Seed drives the deterministic corruption pattern for FaultCorrupt.
 	Seed int64
@@ -85,7 +112,7 @@ func (d *Disk) InjectFault(f Fault) error {
 		return err
 	}
 	switch f.Kind {
-	case FaultReadError, FaultCorrupt:
+	case FaultReadError, FaultCorrupt, FaultWriteError:
 	default:
 		return fmt.Errorf("disk: unknown fault kind %d", f.Kind)
 	}
@@ -156,6 +183,48 @@ func (d *Disk) applyReadFaults(addr int64, n int, buf []byte) error {
 		}
 	}
 	return ferr
+}
+
+// applyWriteFaults applies media faults to one write request of n blocks
+// at addr. It is the write-side twin of applyReadFaults: a write-error
+// fault fails the request with the first failing address (the controller
+// aborts the transfer there), and the caller persists only the blocks
+// before that address. Each transient fault counts at most one attempt
+// per request. Called with d.mu held, after the request has been charged —
+// the device did the mechanical work even though the data never landed.
+// The second return is the number of leading blocks that still persist.
+func (d *Disk) applyWriteFaults(addr int64, n int) (error, int) {
+	if len(d.faults) == 0 {
+		return nil, n
+	}
+	var ferr error
+	persist := n
+	for _, f := range d.faults {
+		if f.cleared || f.Kind != FaultWriteError {
+			continue
+		}
+		hit := false
+		for i := 0; i < n; i++ {
+			a := addr + int64(i)
+			if !f.covers(a) {
+				continue
+			}
+			hit = true
+			if ferr == nil || a < ferr.(*MediaWriteError).Addr {
+				ferr = &MediaWriteError{Addr: a}
+			}
+		}
+		if hit && f.Transient > 0 {
+			f.remaining--
+			if f.remaining <= 0 {
+				f.cleared = true
+			}
+		}
+	}
+	if ferr != nil {
+		persist = int(ferr.(*MediaWriteError).Addr - addr)
+	}
+	return ferr, persist
 }
 
 // corruptBlock flips bits in b as a pure function of (seed, addr), so the

@@ -231,6 +231,16 @@ func EncodeInodeBlock(inodes []*Inode) ([]byte, error) {
 
 // DecodeInodeBlock unpacks a packed inode block.
 func DecodeInodeBlock(buf []byte) ([]*Inode, error) {
+	return DecodeInodeBlockAppend(buf, nil)
+}
+
+// DecodeInodeBlockAppend unpacks a packed inode block, appending the
+// decoded inodes to dst and returning the extended slice. Passing a
+// pooled scratch slice reset to length zero reuses its backing array, so
+// loop callers (the cleaner) pay only for the Inode values themselves —
+// which must be fresh allocations, since decoded inodes outlive the call
+// (they are handed to the inode cache).
+func DecodeInodeBlockAppend(buf []byte, dst []*Inode) ([]*Inode, error) {
 	le := binary.LittleEndian
 	if le.Uint32(buf[0:]) != MagicInodeBlock {
 		return nil, fmt.Errorf("%w: inode block", ErrBadMagic)
@@ -242,11 +252,10 @@ func DecodeInodeBlock(buf []byte) ([]*Inode, error) {
 	if le.Uint32(buf[8:]) != Checksum(buf[inodeBlockHeader:]) {
 		return nil, fmt.Errorf("%w: inode block", ErrBadChecksum)
 	}
-	out := make([]*Inode, n)
 	for i := 0; i < n; i++ {
-		out[i] = DecodeInode(buf[inodeBlockHeader+i*InodeSize:])
+		dst = append(dst, DecodeInode(buf[inodeBlockHeader+i*InodeSize:]))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // EncodeIndirectBlock serializes a block of disk addresses.

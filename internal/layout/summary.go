@@ -128,37 +128,48 @@ func (s *Summary) Encode() ([]byte, error) {
 
 // DecodeSummary parses and validates a segment summary block.
 func DecodeSummary(buf []byte) (*Summary, error) {
+	s := &Summary{}
+	if err := DecodeSummaryInto(buf, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeSummaryInto parses and validates a segment summary block into s,
+// reusing the capacity of s.Entries. It is the allocation-free variant
+// for callers that decode summaries in a loop (the cleaner's scratch):
+// once the entry slice has grown to MaxSummaryEntries, repeated decodes
+// allocate nothing. On error s is left with zero entries.
+func DecodeSummaryInto(buf []byte, s *Summary) error {
 	le := binary.LittleEndian
+	s.Entries = s.Entries[:0]
 	if le.Uint32(buf[0:]) != MagicSummary {
-		return nil, fmt.Errorf("%w: segment summary", ErrBadMagic)
+		return fmt.Errorf("%w: segment summary", ErrBadMagic)
 	}
 	if le.Uint32(buf[4:]) != Checksum(buf[8:]) {
-		return nil, fmt.Errorf("%w: segment summary", ErrBadChecksum)
+		return fmt.Errorf("%w: segment summary", ErrBadChecksum)
 	}
 	n := int(le.Uint16(buf[44:]))
 	if n > MaxSummaryEntries {
-		return nil, fmt.Errorf("layout: summary claims %d entries", n)
+		return fmt.Errorf("layout: summary claims %d entries", n)
 	}
-	s := &Summary{
-		WriteSeq:     le.Uint64(buf[8:]),
-		Timestamp:    le.Uint64(buf[16:]),
-		NextSeg:      int64(le.Uint64(buf[24:])),
-		YoungestAge:  le.Uint64(buf[32:]),
-		DataChecksum: le.Uint32(buf[40:]),
-		Flags:        buf[46],
-		Entries:      make([]SummaryEntry, n),
-	}
+	s.WriteSeq = le.Uint64(buf[8:])
+	s.Timestamp = le.Uint64(buf[16:])
+	s.NextSeg = int64(le.Uint64(buf[24:]))
+	s.YoungestAge = le.Uint64(buf[32:])
+	s.DataChecksum = le.Uint32(buf[40:])
+	s.Flags = buf[46]
 	off := summaryHeader
-	for i := range s.Entries {
-		s.Entries[i] = SummaryEntry{
+	for i := 0; i < n; i++ {
+		s.Entries = append(s.Entries, SummaryEntry{
 			Kind:    BlockKind(buf[off]),
 			Inum:    le.Uint32(buf[off+1:]),
 			Version: le.Uint32(buf[off+5:]),
 			BlockNo: le.Uint32(buf[off+9:]),
 			Age:     le.Uint64(buf[off+13:]),
 			Sum:     le.Uint32(buf[off+21:]),
-		}
+		})
 		off += summaryEntrySize
 	}
-	return s, nil
+	return nil
 }

@@ -143,6 +143,19 @@ const (
 	CtrScrubBlocks = "scrub.blocks"
 	// CtrScrubErrors counts checksum or media failures found by scrub.
 	CtrScrubErrors = "scrub.errors"
+	// CtrMediaWriteRetries counts device-write retries issued after a
+	// media write error.
+	CtrMediaWriteRetries = "fs.media.write.retries"
+	// CtrMediaWriteErrors counts writes that still failed with a media
+	// error after the bounded retry budget.
+	CtrMediaWriteErrors = "fs.media.write.errors"
+	// CtrMediaWriteRelocations counts staged batches replayed into a
+	// fresh segment (or checkpoints redirected to the alternate region)
+	// after their target refused the write.
+	CtrMediaWriteRelocations = "fs.media.write.relocations"
+	// CtrSegsRetired counts segments withdrawn from service by the write
+	// path: quarantined because they refused a write, never reused.
+	CtrSegsRetired = "fs.seg.retired"
 )
 
 // HistWriterStall is the latency histogram of writer stalls behind the

@@ -91,6 +91,13 @@ const (
 	// FaultCorrupt makes reads of the faulty range return deterministically
 	// corrupted contents (silent bit rot).
 	FaultCorrupt = disk.FaultCorrupt
+	// FaultWriteError makes writes touching the faulty range fail with an
+	// error wrapping ErrMediaWrite (a refused or failed write). Blocks
+	// before the first faulty address in a request still persist. Set
+	// Fault.Transient to n to make the fault clear itself after n failed
+	// attempts; the file system absorbs both shapes via bounded retry and
+	// segment relocation (see Options.MediaWriteRetries).
+	FaultWriteError = disk.FaultWriteError
 )
 
 // CleaningPolicy selects how the cleaner chooses segments.
@@ -175,6 +182,11 @@ var (
 	// ErrMediaRead is the sentinel wrapped by read errors caused by
 	// injected media faults (matches with errors.Is).
 	ErrMediaRead = core.ErrMediaRead
+	// ErrMediaWrite is the write-side twin of ErrMediaRead: the sentinel
+	// wrapped by errors from writes the device refused. Operations only
+	// surface it after retry, relocation, and the checkpoint-region
+	// fallback are all exhausted.
+	ErrMediaWrite = core.ErrMediaWrite
 	// ErrDegraded is returned by every mutating operation once the file
 	// system has entered degraded read-only mode after unrecoverable
 	// metadata corruption; see (*FS).Degraded and (*FS).DegradedReason.

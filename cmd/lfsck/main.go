@@ -6,11 +6,18 @@
 //
 //	lfsck disk.img
 //	lfsck -noroll -v disk.img
+//	lfsck -salvage broken.img
 //
 // Unlike Unix fsck — whose full-disk metadata scan the paper contrasts
 // with LFS recovery — lfsck's mount phase reads only the checkpoint and
 // the log tail; the exhaustive sweep afterwards is a verification tool,
 // not part of recovery.
+//
+// -salvage is the last resort for images normal recovery cannot open
+// (both checkpoint regions lost) or that mounted degraded: the whole log
+// is scavenged, the newest verifiable version of every inode is kept,
+// orphans are reconnected under lost+found/, and the repaired image —
+// now carrying a fresh checkpoint — is written back in place.
 package main
 
 import (
@@ -26,10 +33,11 @@ func main() {
 		noroll  = flag.Bool("noroll", false, "discard everything after the last checkpoint instead of rolling forward")
 		verbose = flag.Bool("v", false, "print summary statistics")
 		deep    = flag.Bool("deep", false, "also verify every partial write's data checksum (full-disk scan)")
+		salvage = flag.Bool("salvage", false, "rebuild the image from its log when mount fails or the file system is degraded, writing the repaired image back")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lfsck [-noroll] [-deep] [-v] <image>")
+		fmt.Fprintln(os.Stderr, "usage: lfsck [-noroll] [-deep] [-salvage] [-v] <image>")
 		os.Exit(2)
 	}
 	img := flag.Arg(0)
@@ -38,12 +46,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lfsck:", err)
 		os.Exit(1)
 	}
+	var srep *lfs.SalvageReport
 	fs, err := lfs.Mount(d, lfs.Options{NoRollForward: *noroll})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lfsck: mount:", err)
-		os.Exit(1)
+		if !*salvage {
+			fmt.Fprintf(os.Stderr, "lfsck: mount: %v (rerun with -salvage to rebuild from the log)\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("lfsck: %s: mount: %v; salvaging from the log\n", img, err)
+		fs, srep, err = lfs.SalvageImage(d, lfs.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfsck: salvage:", err)
+			os.Exit(1)
+		}
+	} else if *salvage && fs.Degraded() {
+		fmt.Printf("lfsck: %s: degraded (%s); salvaging from the log\n", img, fs.DegradedReason())
+		srep, err = fs.Salvage()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfsck: salvage:", err)
+			os.Exit(1)
+		}
 	}
-	rep, err := fs.Check()
+	var rep *lfs.CheckReport
+	if *deep {
+		rep, err = fs.CheckDeep()
+	} else {
+		rep, err = fs.Check()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfsck: check:", err)
 		os.Exit(1)
@@ -57,20 +86,23 @@ func main() {
 			rep.Files, live>>20, fs.NumSegments(),
 			float64(live)/float64(fs.NumSegments()*fs.SegmentBytes())*100)
 	}
-	problems := rep.Problems
-	if *deep {
-		logProblems, err := fs.VerifyLog()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lfsck: verify log:", err)
+	if srep != nil {
+		fmt.Printf("lfsck: salvage: %d inodes recovered, %d lost, %d orphans reconnected, %d blocks dropped\n",
+			srep.InodesRecovered, srep.InodesLost, srep.Orphans, srep.BlocksDropped)
+		if err := fs.Unmount(); err != nil {
+			fmt.Fprintln(os.Stderr, "lfsck: unmount:", err)
 			os.Exit(1)
 		}
-		problems = append(problems, logProblems...)
+		if err := d.Save(img); err != nil {
+			fmt.Fprintln(os.Stderr, "lfsck: writing repaired image:", err)
+			os.Exit(1)
+		}
 	}
-	if len(problems) == 0 {
+	if len(rep.Problems) == 0 {
 		fmt.Printf("lfsck: %s: clean\n", img)
 		return
 	}
-	for _, p := range problems {
+	for _, p := range rep.Problems {
 		fmt.Printf("lfsck: %s\n", p)
 	}
 	os.Exit(1)

@@ -4,7 +4,7 @@
 //
 //	lfsh disk.img
 //	lfsh -new -size 64 disk.img
-//	lfsh fsck [-deep] disk.img
+//	lfsh fsck [-deep] [-repair] disk.img
 //	lfsh scrub disk.img
 //
 // Commands: ls [path], cat <path>, put <path> <text>, gen <path> <KB>,
@@ -15,7 +15,10 @@
 // The fsck subcommand mounts the image via checkpoint + roll-forward,
 // runs the structural consistency sweep non-interactively, and exits 0
 // when the image is clean, 1 when it has problems or cannot be mounted.
-// It never writes the image back.
+// It never writes the image back — unless -repair is given, in which
+// case an unmountable or degraded image is rebuilt from its log (the
+// last-resort salvage; orphans are reconnected under lost+found/) and
+// the repaired image replaces the original.
 //
 // The scrub subcommand mounts the image the same way and reads back
 // every live block — map blocks, inodes, indirect blocks and file data —
@@ -100,15 +103,20 @@ func main() {
 	}
 }
 
-// runFsck implements `lfsh fsck [-deep] <image>`. The image is loaded
-// into memory and mounted with normal recovery; nothing is written back,
-// so checking a crashed image leaves it untouched for later inspection.
+// runFsck implements `lfsh fsck [-deep] [-repair] <image>`. The image
+// is loaded into memory and mounted with normal recovery; without
+// -repair nothing is written back, so checking a crashed image leaves it
+// untouched for later inspection. With -repair a mount failure or a
+// degraded mount triggers last-resort salvage — the image is rebuilt
+// from its log, orphans land under lost+found/, and the repaired image
+// is written back in place.
 func runFsck(args []string, out io.Writer) int {
 	fl := flag.NewFlagSet("fsck", flag.ContinueOnError)
 	fl.SetOutput(out)
 	deep := fl.Bool("deep", false, "also verify the checksum of every live log block")
+	repair := fl.Bool("repair", false, "salvage the image from its log when mount fails or the file system is degraded, writing the repaired image back")
 	if err := fl.Parse(args); err != nil || fl.NArg() != 1 {
-		fmt.Fprintln(out, "usage: lfsh fsck [-deep] <image>")
+		fmt.Fprintln(out, "usage: lfsh fsck [-deep] [-repair] <image>")
 		return 2
 	}
 	img := fl.Arg(0)
@@ -117,30 +125,54 @@ func runFsck(args []string, out io.Writer) int {
 		fmt.Fprintf(out, "fsck: %s: %v\n", img, err)
 		return 1
 	}
+	var srep *lfs.SalvageReport
 	fs, err := lfs.Mount(d, lfs.Options{})
 	if err != nil {
-		fmt.Fprintf(out, "fsck: %s: mount: %v\n", img, err)
-		return 1
+		if !*repair {
+			fmt.Fprintf(out, "fsck: %s: mount: %v (rerun with -repair to rebuild from the log)\n", img, err)
+			return 1
+		}
+		fmt.Fprintf(out, "%s: mount: %v; salvaging from the log\n", img, err)
+		fs, srep, err = lfs.SalvageImage(d, lfs.Options{})
+		if err != nil {
+			fmt.Fprintf(out, "fsck: %s: salvage: %v\n", img, err)
+			return 1
+		}
+	} else if *repair && fs.Degraded() {
+		fmt.Fprintf(out, "%s: degraded (%s); salvaging from the log\n", img, fs.DegradedReason())
+		srep, err = fs.Salvage()
+		if err != nil {
+			fmt.Fprintf(out, "fsck: %s: salvage: %v\n", img, err)
+			return 1
+		}
 	}
-	rep, err := fs.Check()
+	var rep *lfs.CheckReport
+	if *deep {
+		rep, err = fs.CheckDeep()
+	} else {
+		rep, err = fs.Check()
+	}
 	if err != nil {
 		fmt.Fprintf(out, "fsck: %s: %v\n", img, err)
 		return 1
 	}
-	problems := rep.Problems
-	if *deep {
-		more, err := fs.VerifyLog()
-		if err != nil {
-			fmt.Fprintf(out, "fsck: %s: verify log: %v\n", img, err)
+	if srep != nil {
+		fmt.Fprintf(out, "%s: salvaged: %d inodes recovered, %d lost, %d orphans reconnected, %d blocks dropped\n",
+			img, srep.InodesRecovered, srep.InodesLost, srep.Orphans, srep.BlocksDropped)
+		if err := fs.Unmount(); err != nil {
+			fmt.Fprintf(out, "fsck: %s: unmount: %v\n", img, err)
 			return 1
 		}
-		problems = append(problems, more...)
+		if err := d.Save(img); err != nil {
+			fmt.Fprintf(out, "fsck: %s: writing repaired image: %v\n", img, err)
+			return 1
+		}
 	}
-	if len(problems) == 0 {
+	if len(rep.Problems) == 0 {
 		fmt.Fprintf(out, "%s: clean: %d files\n", img, rep.Files)
 		return 0
 	}
-	for _, p := range problems {
+	for _, p := range rep.Problems {
 		fmt.Fprintf(out, "%s: problem: %s\n", img, p)
 	}
 	return 1

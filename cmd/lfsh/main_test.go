@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/layout"
 	"repro/lfs"
 )
 
@@ -253,5 +254,88 @@ func TestFsckSubcommand(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "checksum") {
 		t.Fatalf("-deep output: %q", out.String())
+	}
+}
+
+// TestFsckRepairSubcommand destroys both checkpoint regions — normal
+// recovery has nothing left to start from — and verifies that plain
+// fsck refuses with a hint, -repair salvages and writes the repaired
+// image back, and the result is a clean, mountable image with its
+// contents intact.
+func TestFsckRepairSubcommand(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "repair.img")
+	d := lfs.NewDisk(4096)
+	fs, err := lfs.Format(d, lfs.Options{SegmentBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/dir/a.txt", []byte("salvage me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/top.txt", bytes.Repeat([]byte{0x77}, 9000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	sbBuf, err := d.Peek(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := layout.DecodeSuperblock(sbBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]byte, layout.BlockSize)
+	for w := 0; w < 2; w++ {
+		for b := int64(0); b < int64(sb.CheckpointBlocks); b++ {
+			if err := d.Poke(sb.CheckpointAddr[w]+b, zero); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Save(img); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if code := runFsck([]string{img}, &out); code != 1 {
+		t.Fatalf("unmountable image without -repair: exit %d, output %q", code, out.String())
+	}
+	if !strings.Contains(out.String(), "-repair") {
+		t.Fatalf("refusal should hint at -repair: %q", out.String())
+	}
+	out.Reset()
+	if code := runFsck([]string{"-repair", img}, &out); code != 0 {
+		t.Fatalf("-repair: exit %d, output %q", code, out.String())
+	}
+	if !strings.Contains(out.String(), "salvaged:") {
+		t.Fatalf("-repair output should report the salvage: %q", out.String())
+	}
+	out.Reset()
+	if code := runFsck([]string{"-deep", img}, &out); code != 0 {
+		t.Fatalf("repaired image should check clean: exit %d, output %q", code, out.String())
+	}
+	d2, err := lfs.LoadDisk(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := lfs.Mount(d2, lfs.Options{})
+	if err != nil {
+		t.Fatalf("repaired image should mount normally: %v", err)
+	}
+	defer fs2.Unmount()
+	if fs2.Degraded() {
+		t.Fatalf("repaired image mounted degraded: %s", fs2.DegradedReason())
+	}
+	got, err := fs2.ReadFile("/dir/a.txt")
+	if err != nil || string(got) != "salvage me" {
+		t.Fatalf("/dir/a.txt after repair: %q, %v", got, err)
+	}
+	if got, err := fs2.ReadFile("/top.txt"); err != nil || len(got) != 9000 {
+		t.Fatalf("/top.txt after repair: %d bytes, %v", len(got), err)
 	}
 }

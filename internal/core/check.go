@@ -182,6 +182,23 @@ func (fs *FS) Check() (*CheckReport, error) {
 	return r, nil
 }
 
+// CheckDeep runs Check plus the VerifyLog full-disk media sweep and
+// merges the results into one report — the single entry point behind
+// both `lfsck -deep` and `lfsh fsck -deep`, so the two tools cannot
+// drift.
+func (fs *FS) CheckDeep() (*CheckReport, error) {
+	r, err := fs.Check()
+	if err != nil {
+		return nil, err
+	}
+	problems, err := fs.VerifyLog()
+	if err != nil {
+		return nil, err
+	}
+	r.Problems = append(r.Problems, problems...)
+	return r, nil
+}
+
 // LiveBytesByKind returns the volume of live data on disk broken down by
 // block type (the "Live data" column of Table 4). Buffered modifications
 // are flushed first so the on-disk state is current.

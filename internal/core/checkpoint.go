@@ -91,7 +91,7 @@ func (fs *FS) checkpointLocked() error {
 	// silently forget a bad segment.
 	quarantined := fs.QuarantinedSegments()
 	if len(quarantined) > layout.MaxQuarantinedSegs {
-		fs.degrade("quarantine list overflows the checkpoint region")
+		fs.degrade("quarantine-overflow", "quarantine list overflows the checkpoint region")
 		return ErrDegraded
 	}
 	fs.cpSeq++
@@ -127,7 +127,7 @@ func (fs *FS) checkpointLocked() error {
 		fs.cpBad[target] = true
 		alt := 1 - target
 		if fs.cpBad[alt] {
-			fs.degrade(fmt.Sprintf("both checkpoint regions unwritable: %v", werr))
+			fs.degrade("checkpoint-regions", fmt.Sprintf("both checkpoint regions unwritable: %v", werr))
 			return fmt.Errorf("lfs: both checkpoint regions unwritable: %w", werr)
 		}
 		fs.tr.Add(obs.CtrMediaWriteRelocations, 1)
@@ -135,7 +135,7 @@ func (fs *FS) checkpointLocked() error {
 		werr = fs.writeRetry(fs.sb.CheckpointAddr[target], buf)
 		if errors.Is(werr, disk.ErrMediaWrite) {
 			fs.cpBad[target] = true
-			fs.degrade(fmt.Sprintf("both checkpoint regions unwritable: %v", werr))
+			fs.degrade("checkpoint-regions", fmt.Sprintf("both checkpoint regions unwritable: %v", werr))
 			return fmt.Errorf("lfs: both checkpoint regions unwritable: %w", werr)
 		}
 	}

@@ -134,11 +134,11 @@ func (fs *FS) verifyBlock(addr int64, buf []byte) error {
 	}
 	sum, ok, err := fs.lookupBlockSum(addr)
 	if err != nil {
-		fs.degrade(fmt.Sprintf("summary chain of segment %d unreadable: %v", fs.segOf(addr), err))
+		fs.degrade("summary-chain", fmt.Sprintf("summary chain of segment %d unreadable: %v", fs.segOf(addr), err))
 		return &ErrCorrupted{Offset: -1, Addr: addr}
 	}
 	if !ok {
-		fs.degrade(fmt.Sprintf("segment %d summary chain does not describe live block %d", fs.segOf(addr), addr))
+		fs.degrade("summary-chain", fmt.Sprintf("segment %d summary chain does not describe live block %d", fs.segOf(addr), addr))
 		return &ErrCorrupted{Offset: -1, Addr: addr}
 	}
 	if layout.Checksum(buf) != sum {
@@ -203,13 +203,35 @@ func (fs *FS) QuarantinedSegments() []int64 {
 // Reads keep working on whatever survives; every mutating operation
 // fails fast with ErrDegraded, and no block is ever written again (a
 // checkpoint built over broken metadata would launder the damage).
-func (fs *FS) degrade(reason string) {
-	if fs.degraded.CompareAndSwap(false, true) {
-		fs.quarMu.Lock()
+// label is a short stable cause tag recorded as a per-reason counter;
+// reason is the human-readable diagnosis behind DegradedReason.
+//
+// The reason is published under quarMu before the degraded flag flips:
+// a reader that observes Degraded()==true is therefore guaranteed a
+// non-empty DegradedReason(). The first caller to publish a reason wins
+// (matching the first CAS winning the flag) — concurrent later causes
+// are not allowed to overwrite the original diagnosis.
+func (fs *FS) degrade(label, reason string) {
+	fs.quarMu.Lock()
+	if fs.degradedReason == "" {
 		fs.degradedReason = reason
-		fs.quarMu.Unlock()
-		fs.tr.Add(obs.CtrDegraded, 1)
 	}
+	fs.quarMu.Unlock()
+	if fs.degraded.CompareAndSwap(false, true) {
+		fs.tr.Add(obs.CtrDegraded, 1)
+		fs.tr.Add(obs.CtrDegradedReasonPrefix+label, 1)
+	}
+}
+
+// undegrade exits degraded mode after a successful salvage rebuilt and
+// re-checkpointed the metadata. Called with fs.mu held; the reason is
+// cleared after the flag so readers never see degraded with a stale
+// blank reason.
+func (fs *FS) undegrade() {
+	fs.degraded.Store(false)
+	fs.quarMu.Lock()
+	fs.degradedReason = ""
+	fs.quarMu.Unlock()
 }
 
 // Degraded reports whether the file system is in degraded read-only mode.

@@ -339,7 +339,7 @@ func (fs *FS) flushLog() error {
 		// batch is placed, the staged blocks all remain queued, and the
 		// flush is retryable once the cleaner frees segments.
 		if !errors.Is(err, ErrNoSpace) {
-			fs.degrade(fmt.Sprintf("log flush failed with staged state partially placed: %v", err))
+			fs.degrade("flush", fmt.Sprintf("log flush failed with staged state partially placed: %v", err))
 		}
 		return err
 	}

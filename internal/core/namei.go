@@ -213,7 +213,7 @@ func (fs *FS) mutate(f func() error) error {
 	before := fs.dirLogSeq
 	err := f()
 	if err != nil && fs.dirLogSeq != before {
-		fs.degrade(fmt.Sprintf("operation failed after logging %d directory-op record(s): %v",
+		fs.degrade("dirlog-torn", fmt.Sprintf("operation failed after logging %d directory-op record(s): %v",
 			fs.dirLogSeq-before, err))
 	}
 	return err

@@ -74,13 +74,13 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 		}
 		buf, err := fs.readBlockRetry(addr)
 		if err != nil {
-			fs.degrade(fmt.Sprintf("inode map block %d at %d unreadable: %v", i, addr, err))
+			fs.degrade("imap-load", fmt.Sprintf("inode map block %d at %d unreadable: %v", i, addr, err))
 			continue
 		}
 		if err := fs.imap.loadBlock(buf, i); err != nil {
 			fs.tr.Add(obs.CtrCorruptBlocks, 1)
 			fs.quarantineSeg(fs.segOf(addr))
-			fs.degrade(fmt.Sprintf("inode map block %d at %d corrupt: %v", i, addr, err))
+			fs.degrade("imap-load", fmt.Sprintf("inode map block %d at %d corrupt: %v", i, addr, err))
 		}
 	}
 	for i, addr := range cp.UsageAddrs {
@@ -89,13 +89,13 @@ func Mount(dev *disk.Disk, opts Options) (*FS, error) {
 		}
 		buf, err := fs.readBlockRetry(addr)
 		if err != nil {
-			fs.degrade(fmt.Sprintf("segment usage block %d at %d unreadable: %v", i, addr, err))
+			fs.degrade("usage-load", fmt.Sprintf("segment usage block %d at %d unreadable: %v", i, addr, err))
 			continue
 		}
 		if err := fs.usage.loadBlock(buf, i); err != nil {
 			fs.tr.Add(obs.CtrCorruptBlocks, 1)
 			fs.quarantineSeg(fs.segOf(addr))
-			fs.degrade(fmt.Sprintf("segment usage block %d at %d corrupt: %v", i, addr, err))
+			fs.degrade("usage-load", fmt.Sprintf("segment usage block %d at %d corrupt: %v", i, addr, err))
 		}
 	}
 
@@ -335,7 +335,7 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 				// unreadable summary: committed writes may be stranded
 				// beyond it. Stop here and degrade rather than silently
 				// truncate the log.
-				fs.degrade(fmt.Sprintf("roll-forward summary at %d unreadable: %v", sumAddr, err))
+				fs.degrade("roll-forward", fmt.Sprintf("roll-forward summary at %d unreadable: %v", sumAddr, err))
 				break
 			}
 			return nil, err
@@ -364,7 +364,7 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 				block, err := fs.readBlockRetry(addr)
 				if err != nil {
 					if errors.Is(err, disk.ErrMediaRead) {
-						fs.degrade(fmt.Sprintf("roll-forward inode block at %d unreadable: %v", addr, err))
+						fs.degrade("roll-forward", fmt.Sprintf("roll-forward inode block at %d unreadable: %v", addr, err))
 						unreadable = true
 						break
 					}
@@ -377,7 +377,7 @@ func (fs *FS) rollForwardScan(cp *layout.Checkpoint) ([]*layout.DirOp, error) {
 				block, err := fs.readBlockRetry(addr)
 				if err != nil {
 					if errors.Is(err, disk.ErrMediaRead) {
-						fs.degrade(fmt.Sprintf("roll-forward dirlog block at %d unreadable: %v", addr, err))
+						fs.degrade("roll-forward", fmt.Sprintf("roll-forward dirlog block at %d unreadable: %v", addr, err))
 						unreadable = true
 						break
 					}
@@ -776,7 +776,7 @@ func (fs *FS) recomputeUsage() error {
 			buf, err := fs.readBlockRetry(start + off)
 			if err != nil {
 				if errors.Is(err, disk.ErrMediaRead) {
-					fs.degrade(fmt.Sprintf("usage recomputation: summary at %d unreadable: %v", start+off, err))
+					fs.degrade("usage-recompute", fmt.Sprintf("usage recomputation: summary at %d unreadable: %v", start+off, err))
 					break
 				}
 				return err

@@ -1,0 +1,842 @@
+// Last-resort salvage: rebuild a mountable file system from the log
+// alone. Checkpoint + roll-forward recovery (recovery.go) assumes at
+// least one checkpoint region survives; when both are gone, or when
+// unrecoverable metadata pushed a mount into degraded read-only mode,
+// everything needed to reconstruct the image is still redundantly
+// encoded in the segment summaries the log already carries: every live
+// block's kind, owner and per-block CRC, and every inode's address and
+// version. The scavenger here walks all of it, keeps the newest
+// verifiable version of each inode, rebuilds the inode map, the segment
+// usage table and the directory tree (reconnecting orphans under
+// lost+found/), writes a fresh checkpoint into a surviving or
+// re-initialized region, and clears degraded mode — the final rung of
+// the fault ladder: retry → relocate → quarantine → degrade → repair.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// SalvageReport summarizes what a salvage run found and rebuilt.
+type SalvageReport struct {
+	// SegmentsScanned is the number of log segments examined.
+	SegmentsScanned int
+	// SummariesWalked counts valid partial-write summaries found.
+	SummariesWalked int
+	// BlocksVerified counts log blocks whose contents matched their
+	// summary-recorded CRC.
+	BlocksVerified int
+	// BlocksDropped counts log blocks discarded: unreadable, or failing
+	// their per-block CRC.
+	BlocksDropped int
+	// InodesRecovered is the number of inodes whose newest verifiable
+	// version was accepted into the rebuilt image.
+	InodesRecovered int
+	// InodesLost counts inums seen in the log for which no version
+	// survived with its full block chain intact.
+	InodesLost int
+	// Orphans counts recovered inodes that had lost every directory
+	// reference and were reconnected under lost+found/.
+	Orphans int
+	// DirsRepaired counts directories whose entry lists had to be
+	// rewritten (dangling or duplicate entries dropped, orphans added).
+	DirsRepaired int
+	// RootRecreated reports that no verifiable root directory survived
+	// and a fresh empty one was synthesized.
+	RootRecreated bool
+}
+
+// salvCand is one on-disk version of an inode found during the scan.
+type salvCand struct {
+	ino  *layout.Inode
+	addr int64 // inode block address
+	slot uint16
+	seq  uint64 // WriteSeq of the partial write that carried it
+}
+
+// salvAccepted is the chosen (newest verifiable) version of an inode.
+type salvAccepted struct {
+	ino  *layout.Inode
+	addr int64
+	slot uint16
+	data map[uint32]int64 // block number → verified data block address
+	meta []int64          // verified indirect-block addresses
+}
+
+// salvScan accumulates the full-log scan results.
+type salvScan struct {
+	intact    map[int64]uint64 // verified block address → covering WriteSeq
+	cands     map[uint32][]salvCand
+	maxVer    map[uint32]uint32 // highest inode version seen per inum
+	maxSeq    uint64
+	maxDirSeq uint64 // highest dirlog op Seq + 1
+	maxTime   uint64
+}
+
+// Salvage rebuilds the file system in place from its log — the repair
+// rung of the fault ladder, and the only exit from degraded read-only
+// mode. On success the image has a fresh checkpoint, a consistent
+// directory tree with orphans reconnected under lost+found/, and
+// degraded mode cleared; the file system is read-write again. Data
+// whose blocks (or covering summaries) did not physically survive is
+// dropped — salvage recovers exactly what the media still holds.
+//
+// A non-degraded file system may also be salvaged; its buffered state
+// is checkpointed first so nothing acknowledged is lost.
+func (fs *FS) Salvage() (*SalvageReport, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return nil, ErrUnmounted
+	}
+	if !fs.degraded.Load() {
+		// Make the on-disk log current so the scavenger sees every
+		// acknowledged write. A failure here (including one that
+		// degrades) is not fatal: salvage proceeds from whatever state
+		// the log holds.
+		_ = fs.checkpointLocked()
+	}
+	return fs.salvageLocked()
+}
+
+// SalvageImage salvages a file system directly from its device, without
+// mounting it first — the entry point when Mount itself fails (both
+// checkpoint regions lost, ErrNoCheckpoint). The superblock must be
+// readable; everything else is rebuilt from the log. On success the
+// returned FS is mounted read-write.
+func SalvageImage(dev *disk.Disk, opts Options) (*FS, *SalvageReport, error) {
+	opts = opts.withDefaults()
+	sbBuf, err := dev.ReadBlock(0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("salvage: superblock unreadable: %w", err)
+	}
+	sb, err := layout.DecodeSuperblock(sbBuf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("salvage: superblock: %w", err)
+	}
+	opts.SegmentBlocks = int(sb.SegmentBlocks)
+	opts.MaxInodes = int(sb.MaxInodes)
+	fs := newFS(dev, opts, sb)
+	// Best-effort read of whatever checkpoint survives: it contributes
+	// the quarantine list (known-bad segments must never be reused, even
+	// by the rebuilt image) and the checkpoint sequence floor (the fresh
+	// checkpoint must outrank any stale-but-valid region).
+	if cp, which, err := readBestCheckpoint(dev, sb, opts.MediaRetries); err == nil {
+		for _, s := range cp.Quarantined {
+			if s >= 0 && s < fs.nsegs {
+				fs.quarantined[s] = true
+			}
+		}
+		fs.tr.Add(obs.CtrQuarantinedSegs, int64(len(fs.quarantined)))
+		fs.cpSeq = cp.Seq
+		fs.cpWhich = 1 - which
+	}
+	fs.mounted = true
+	rep, err := fs.salvageLocked()
+	if err != nil {
+		return nil, rep, err
+	}
+	fs.startCleaner()
+	fs.startCommitter()
+	return fs, rep, nil
+}
+
+// salvageLocked is the scavenger shared by Salvage and SalvageImage.
+// Caller holds fs.mu (or owns the FS exclusively, pre-publication). It
+// discards all in-memory state, re-derives everything from the log, and
+// commits the rebuilt image with a fresh checkpoint.
+func (fs *FS) salvageLocked() (*SalvageReport, error) {
+	fs.tr.Add(obs.CtrSalvageRuns, 1)
+	rep := &SalvageReport{}
+
+	fs.salvageReset()
+
+	sc := &salvScan{
+		intact: make(map[int64]uint64),
+		cands:  make(map[uint32][]salvCand),
+		maxVer: make(map[uint32]uint32),
+	}
+	for seg := int64(0); seg < fs.nsegs; seg++ {
+		rep.SegmentsScanned++
+		fs.salvageScanSeg(seg, sc, rep)
+	}
+	fs.sumsMu.Lock()
+	for seg := int64(0); seg < fs.nsegs; seg++ {
+		fs.sumsLoaded[seg] = true
+	}
+	fs.sumsMu.Unlock()
+
+	acc := fs.salvageAcceptInodes(sc, rep)
+	fs.salvagePopulate(acc, sc, rep)
+	// Usage must be rebuilt before the directory pass: rewriting a
+	// directory decrements the live count of each replaced or truncated
+	// old block, which underflows against a still-empty table.
+	fs.salvageRebuildUsage(acc)
+	if err := fs.salvageRebuildDirs(acc, rep); err != nil {
+		return rep, err
+	}
+	if err := fs.salvagePickHead(); err != nil {
+		return rep, err
+	}
+
+	if fs.writeSeq <= sc.maxSeq {
+		fs.writeSeq = sc.maxSeq + 1
+	}
+	if fs.dirLogSeq < sc.maxDirSeq {
+		fs.dirLogSeq = sc.maxDirSeq
+	}
+	if fs.ticks.Load() < sc.maxTime {
+		fs.ticks.Store(sc.maxTime)
+	}
+	fs.bytesSinceCp = 0
+	fs.relocatedSinceCp = false
+	fs.cleanerErr = nil
+
+	// Exit degraded mode before committing: the rebuilt state is
+	// consistent, and checkpointLocked's flush refuses to run degraded.
+	// If the commit itself fails it re-degrades (or surfaces the error)
+	// on its own evidence.
+	fs.undegrade()
+	prevRec := fs.inRecovery
+	fs.inRecovery = true
+	err := fs.checkpointLocked()
+	fs.inRecovery = prevRec
+	if err != nil {
+		return rep, fmt.Errorf("salvage: committing rebuilt state: %w", err)
+	}
+	fs.rebuildFreeInums()
+	fs.rebuildFreeSegs()
+
+	fs.tr.Add(obs.CtrSalvageInodes, int64(rep.InodesRecovered))
+	fs.tr.Add(obs.CtrSalvageOrphans, int64(rep.Orphans))
+	fs.tr.Add(obs.CtrSalvageDropped, int64(rep.BlocksDropped))
+	return rep, nil
+}
+
+// salvageReset discards every piece of in-memory state derived from the
+// (possibly broken) previous image. The quarantine set is deliberately
+// preserved: known-bad media stays withdrawn across repair.
+func (fs *FS) salvageReset() {
+	fs.imap = newInodeMap(int(fs.sb.MaxInodes))
+	fs.usage = newUsageTable(int(fs.nsegs), fs.segBytes)
+	fs.dcache = make(map[blockKey][]byte)
+	fs.dirtyBlocks = 0
+	fs.icacheMu.Lock()
+	fs.icache = make(map[uint32]*mInode)
+	fs.icacheMu.Unlock()
+	fs.dirtyInodes = make(map[uint32]bool)
+	fs.dirCacheMu.Lock()
+	fs.dirCache = make(map[uint32][]layout.DirEntry)
+	fs.dirCacheMu.Unlock()
+	fs.dirBytes = make(map[uint32][]byte)
+	fs.pendingOps = nil
+	fs.dirlogAddrs = nil
+	fs.pending = nil
+	fs.inoBlockRefs = make(map[int64]int)
+	fs.pendingClean = nil
+	fs.pendingCleanSet = make(map[int64]bool)
+	fs.recomputeSegs = nil
+	fs.freeSegs = nil
+	fs.head = layout.NilAddr
+	fs.headOff = 0
+	fs.nextSeg = layout.NilAddr
+	fs.sumsMu.Lock()
+	fs.blockSums = make(map[int64]uint32)
+	fs.sumsLoaded = make(map[int64]bool)
+	fs.sumsMu.Unlock()
+	if fs.rcache != nil {
+		fs.rcacheMu.Lock()
+		fs.rcache = make(map[int64][]byte)
+		fs.rcacheRing = addrRing{}
+		fs.rcacheDead = make(map[int64]int)
+		fs.rcacheDeadN = 0
+		fs.rcacheMu.Unlock()
+	}
+	// Acknowledged-but-unflushed state (if any) is part of what was
+	// lost; the NVRAM redo log describing it must not replay over the
+	// rebuilt image.
+	fs.nvClear()
+}
+
+// salvageScanSeg walks one segment's summary chain, verifying every
+// described block against its recorded CRC. Verified blocks join the
+// intact set (and the verify-on-read index); inode blocks additionally
+// contribute version candidates. The walk mirrors harvestSegSums: it
+// ends at a summary that fails to decode, a WriteSeq regression (the
+// stale tail of a reused segment), or an entry count escaping the
+// segment. Media read errors quarantine the segment; checksum
+// mismatches only drop the block (deliberate corruption is not evidence
+// the medium is bad).
+func (fs *FS) salvageScanSeg(seg int64, sc *salvScan, rep *SalvageReport) {
+	start := fs.segStart(seg)
+	var prevSeq uint64
+	first := true
+	for off := int64(0); off <= fs.segBlocks-2; {
+		buf, err := fs.readBlockRetry(start + off)
+		if err != nil {
+			if errors.Is(err, disk.ErrMediaRead) {
+				fs.quarantineSeg(seg)
+			}
+			return
+		}
+		s, err := layout.DecodeSummary(buf)
+		if err != nil {
+			return
+		}
+		if !first && s.WriteSeq <= prevSeq {
+			return
+		}
+		first, prevSeq = false, s.WriteSeq
+		n := int64(len(s.Entries))
+		if n == 0 || off+1+n > fs.segBlocks {
+			return
+		}
+		rep.SummariesWalked++
+		if s.WriteSeq > sc.maxSeq {
+			sc.maxSeq = s.WriteSeq
+		}
+		if s.Timestamp > sc.maxTime {
+			sc.maxTime = s.Timestamp
+		}
+		fs.usage.noteWrite(seg, s.Timestamp)
+		for i, e := range s.Entries {
+			addr := start + off + 1 + int64(i)
+			blk, err := fs.readBlockRetry(addr)
+			if err != nil {
+				rep.BlocksDropped++
+				if errors.Is(err, disk.ErrMediaRead) {
+					fs.quarantineSeg(seg)
+				}
+				continue
+			}
+			if layout.Checksum(blk) != e.Sum {
+				rep.BlocksDropped++
+				continue
+			}
+			rep.BlocksVerified++
+			sc.intact[addr] = s.WriteSeq
+			fs.recordBlockSum(addr, e.Sum)
+			switch e.Kind {
+			case layout.KindInode:
+				inos, err := layout.DecodeInodeBlock(blk)
+				if err != nil {
+					break
+				}
+				for slot, ino := range inos {
+					if ino.Inum < RootInum || ino.Inum >= uint32(fs.imap.maxInodes()) {
+						continue
+					}
+					sc.cands[ino.Inum] = append(sc.cands[ino.Inum], salvCand{
+						ino: ino, addr: addr, slot: uint16(slot), seq: s.WriteSeq,
+					})
+					if ino.Version > sc.maxVer[ino.Inum] {
+						sc.maxVer[ino.Inum] = ino.Version
+					}
+				}
+			case layout.KindDirLog:
+				if ops, err := layout.DecodeDirOpLog(blk); err == nil {
+					for _, op := range ops {
+						if op.Seq >= sc.maxDirSeq {
+							sc.maxDirSeq = op.Seq + 1
+						}
+					}
+				}
+			}
+		}
+		off += 1 + n
+	}
+}
+
+// salvageAcceptInodes picks, for every inum seen in the log, the newest
+// candidate whose complete block chain verifies: newest first by
+// (WriteSeq, address, slot), accept the first whose every referenced
+// data and indirect block is in the intact set and was written no later
+// than the inode itself. The seq bound is what defuses segment reuse: a
+// block address recycled by a newer segment incarnation carries a
+// higher WriteSeq than any stale inode that referenced the old
+// occupant, so the stale candidate is rejected rather than wired to
+// foreign data.
+func (fs *FS) salvageAcceptInodes(sc *salvScan, rep *SalvageReport) map[uint32]*salvAccepted {
+	acc := make(map[uint32]*salvAccepted)
+	for inum32 := 0; inum32 < fs.imap.maxInodes(); inum32++ {
+		inum := uint32(inum32)
+		cands := sc.cands[inum]
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].seq != cands[j].seq {
+				return cands[i].seq > cands[j].seq
+			}
+			if cands[i].addr != cands[j].addr {
+				return cands[i].addr > cands[j].addr
+			}
+			return cands[i].slot > cands[j].slot
+		})
+		var chosen *salvAccepted
+		for k := range cands {
+			c := &cands[k]
+			data, meta, ok := fs.salvageWalkInode(c.ino, c.seq, sc.intact)
+			if ok {
+				chosen = &salvAccepted{ino: c.ino, addr: c.addr, slot: c.slot, data: data, meta: meta}
+				break
+			}
+		}
+		if chosen == nil {
+			rep.InodesLost++
+			continue
+		}
+		acc[inum] = chosen
+	}
+	// The root must be a directory; a surviving non-directory inode 1
+	// is unusable and treated as lost.
+	if a, ok := acc[RootInum]; ok && a.ino.Type != layout.FileTypeDir {
+		delete(acc, RootInum)
+		rep.InodesLost++
+	}
+	return acc
+}
+
+// salvageWalkInode verifies one inode candidate's full block chain
+// against the intact set, returning its data block map (block number →
+// address) and indirect-block addresses. seq is the candidate's
+// WriteSeq; every referenced block must have been written at or before
+// it (see salvageAcceptInodes).
+func (fs *FS) salvageWalkInode(ino *layout.Inode, seq uint64, intact map[int64]uint64) (map[uint32]int64, []int64, bool) {
+	// A size beyond what any block map can address is not a recoverable
+	// inode, it is hostile or rotted metadata that happened to checksum —
+	// reject it before anything downstream sizes a buffer from it.
+	if ino.Size > uint64(layout.MaxFileBlocks)*layout.BlockSize {
+		return nil, nil, false
+	}
+	okAddr := func(a int64) bool {
+		s, present := intact[a]
+		return present && s <= seq
+	}
+	data := make(map[uint32]int64)
+	var meta []int64
+	for bn, a := range ino.Direct {
+		if a == layout.NilAddr {
+			continue
+		}
+		if !okAddr(a) {
+			return nil, nil, false
+		}
+		data[uint32(bn)] = a
+	}
+	readPtrs := func(a int64) ([]int64, bool) {
+		if !okAddr(a) {
+			return nil, false
+		}
+		buf, err := fs.readBlockRetry(a)
+		if err != nil {
+			return nil, false
+		}
+		return layout.DecodeIndirectBlock(buf), true
+	}
+	if ino.Indirect != layout.NilAddr {
+		ptrs, ok := readPtrs(ino.Indirect)
+		if !ok {
+			return nil, nil, false
+		}
+		meta = append(meta, ino.Indirect)
+		for j, a := range ptrs {
+			if a == layout.NilAddr {
+				continue
+			}
+			if !okAddr(a) {
+				return nil, nil, false
+			}
+			data[uint32(layout.NumDirect+j)] = a
+		}
+	}
+	if ino.DIndir != layout.NilAddr {
+		top, ok := readPtrs(ino.DIndir)
+		if !ok {
+			return nil, nil, false
+		}
+		meta = append(meta, ino.DIndir)
+		for l2i, l2a := range top {
+			if l2a == layout.NilAddr {
+				continue
+			}
+			ptrs, ok := readPtrs(l2a)
+			if !ok {
+				return nil, nil, false
+			}
+			meta = append(meta, l2a)
+			for j, a := range ptrs {
+				if a == layout.NilAddr {
+					continue
+				}
+				if !okAddr(a) {
+					return nil, nil, false
+				}
+				bn := uint32(layout.NumDirect + layout.PointersPerBlock + l2i*layout.PointersPerBlock + j)
+				data[bn] = a
+			}
+		}
+	}
+	return data, meta, true
+}
+
+// salvagePopulate installs the accepted inodes into the rebuilt inode
+// map and caches, synthesizing a fresh empty root when none survived.
+func (fs *FS) salvagePopulate(acc map[uint32]*salvAccepted, sc *salvScan, rep *SalvageReport) {
+	fs.nextInum = RootInum + 1
+	for inum32 := 0; inum32 < fs.imap.maxInodes(); inum32++ {
+		inum := uint32(inum32)
+		a, ok := acc[inum]
+		if !ok {
+			continue
+		}
+		fs.imap.setLocation(inum, a.addr, a.slot)
+		fs.imap.setVersion(inum, a.ino.Version)
+		fs.imap.setAtime(inum, a.ino.Atime)
+		fs.icacheMu.Lock()
+		fs.icache[inum] = newMInode(a.ino)
+		fs.icacheMu.Unlock()
+		fs.inoBlockRefs[a.addr]++
+		if inum >= fs.nextInum {
+			fs.nextInum = inum + 1
+		}
+		rep.InodesRecovered++
+	}
+	if _, ok := acc[RootInum]; !ok {
+		// No verifiable root survived: synthesize an empty one, with a
+		// version above anything the log holds so stale root blocks can
+		// never be mistaken for live.
+		ver := sc.maxVer[RootInum] + 1
+		root := layout.NewInode(RootInum, layout.FileTypeDir)
+		root.Version = ver
+		root.Mtime = fs.ticks.Load()
+		fs.icacheMu.Lock()
+		fs.icache[RootInum] = newMInode(root)
+		fs.icacheMu.Unlock()
+		fs.dirtyInodes[RootInum] = true
+		fs.imap.setVersion(RootInum, ver)
+		fs.dirCacheMu.Lock()
+		fs.dirCache[RootInum] = nil
+		fs.dirCacheMu.Unlock()
+		rep.RootRecreated = true
+	}
+}
+
+// salvageRebuildDirs reconstructs the directory tree over the accepted
+// inodes: decode every surviving directory's entries, drop the ones
+// whose targets did not survive (plus duplicate names and second
+// references to a directory), reconnect unreachable inodes under
+// lost+found/, and set every link count to the actual number of
+// references. Directories whose entry list changed are rewritten
+// through the normal write path so the closing checkpoint carries them.
+func (fs *FS) salvageRebuildDirs(acc map[uint32]*salvAccepted, rep *SalvageReport) error {
+	isDir := func(inum uint32) bool {
+		a, ok := acc[inum]
+		return ok && a.ino.Type == layout.FileTypeDir
+	}
+
+	// Raw surviving content of every accepted directory. A directory
+	// whose content does not decode contributes no entries (its
+	// children become orphans). The root may be synthesized (absent
+	// from acc): it reads as empty.
+	rawEnts := make(map[uint32][]layout.DirEntry)
+	rawBytes := make(map[uint32][]byte)
+	var dirInums []uint32
+	if _, ok := acc[RootInum]; !ok {
+		dirInums = append(dirInums, RootInum)
+	}
+	for inum32 := 0; inum32 < fs.imap.maxInodes(); inum32++ {
+		inum := uint32(inum32)
+		if inum == RootInum && !isDir(inum) {
+			continue // synthesized root, already added
+		}
+		if isDir(inum) {
+			dirInums = append(dirInums, inum)
+			mi, err := fs.loadInode(inum)
+			if err != nil {
+				continue
+			}
+			// The claimed size must fit inside the blocks the accepted
+			// chain actually maps; a directory pretending to be larger
+			// than its own block map is treated as undecodable (its
+			// children become orphans) rather than sized at face value.
+			var extent int64
+			for bn := range acc[inum].data {
+				if end := (int64(bn) + 1) * layout.BlockSize; end > extent {
+					extent = end
+				}
+			}
+			if int64(mi.ino.Size) > extent {
+				continue
+			}
+			data := make([]byte, mi.ino.Size)
+			if _, err := fs.readAt(mi, 0, data); err != nil {
+				continue
+			}
+			ents, err := layout.DecodeDirectory(data)
+			if err != nil {
+				rawBytes[inum] = data
+				continue
+			}
+			rawEnts[inum] = ents
+			rawBytes[inum] = data
+		}
+	}
+
+	// Filtered breadth-first walk from the root. Entries survive when
+	// their target was accepted, the name is not a duplicate, and (for
+	// directories) the target has not already been reached — each
+	// directory gets exactly one parent.
+	visited := map[uint32]bool{RootInum: true}
+	refs := make(map[uint32]int)
+	finalEnts := make(map[uint32][]layout.DirEntry)
+	walk := func(from uint32) {
+		queue := []uint32{from}
+		for len(queue) > 0 {
+			dir := queue[0]
+			queue = queue[1:]
+			names := make(map[string]bool)
+			kept := finalEnts[dir]
+			for _, e := range kept {
+				names[e.Name] = true
+			}
+			for _, e := range rawEnts[dir] {
+				if e.Inum == RootInum || names[e.Name] {
+					continue
+				}
+				if _, ok := acc[e.Inum]; !ok {
+					continue
+				}
+				if isDir(e.Inum) {
+					if visited[e.Inum] {
+						continue
+					}
+					visited[e.Inum] = true
+					queue = append(queue, e.Inum)
+				}
+				names[e.Name] = true
+				refs[e.Inum]++
+				kept = append(kept, e)
+			}
+			finalEnts[dir] = kept
+		}
+	}
+	walk(RootInum)
+
+	// Reconnect orphans: first unreachable directories (each pulls its
+	// whole surviving subtree back in), then unreferenced files.
+	lf := uint32(0)
+	ensureLostFound := func() (uint32, error) {
+		if lf != 0 {
+			return lf, nil
+		}
+		names := make(map[string]bool)
+		for _, e := range finalEnts[RootInum] {
+			names[e.Name] = true
+			if e.Name == "lost+found" && isDir(e.Inum) {
+				lf = e.Inum
+			}
+		}
+		if lf != 0 {
+			return lf, nil
+		}
+		inum, err := fs.salvageFreeInum(acc)
+		if err != nil {
+			return 0, err
+		}
+		ino := layout.NewInode(inum, layout.FileTypeDir)
+		ino.Version = 1
+		ino.Mtime = fs.ticks.Load()
+		fs.icacheMu.Lock()
+		fs.icache[inum] = newMInode(ino)
+		fs.icacheMu.Unlock()
+		fs.dirtyInodes[inum] = true
+		fs.imap.setVersion(inum, 1)
+		name := "lost+found"
+		for k := 0; names[name]; k++ {
+			name = fmt.Sprintf("lost+found.%d", k)
+		}
+		finalEnts[RootInum] = append(finalEnts[RootInum], layout.DirEntry{Inum: inum, Name: name})
+		refs[inum]++
+		visited[inum] = true
+		finalEnts[inum] = nil
+		lf = inum
+		return lf, nil
+	}
+	attach := func(inum uint32) error {
+		lfi, err := ensureLostFound()
+		if err != nil {
+			return err
+		}
+		taken := make(map[string]bool)
+		for _, e := range finalEnts[lfi] {
+			taken[e.Name] = true
+		}
+		name := fmt.Sprintf("ino%d", inum)
+		for k := 0; taken[name]; k++ {
+			name = fmt.Sprintf("ino%d.%d", inum, k)
+		}
+		finalEnts[lfi] = append(finalEnts[lfi], layout.DirEntry{Inum: inum, Name: name})
+		refs[inum]++
+		rep.Orphans++
+		return nil
+	}
+	for _, inum := range dirInums {
+		if visited[inum] || inum == lf {
+			continue
+		}
+		visited[inum] = true
+		if err := attach(inum); err != nil {
+			return err
+		}
+		walk(inum)
+	}
+	for inum32 := 0; inum32 < fs.imap.maxInodes(); inum32++ {
+		inum := uint32(inum32)
+		if _, ok := acc[inum]; !ok || inum == RootInum {
+			continue
+		}
+		if !isDir(inum) && refs[inum] == 0 {
+			if err := attach(inum); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Link counts reflect the rebuilt tree exactly (the root counts its
+	// own self-reference, matching Check).
+	refs[RootInum]++
+	fs.icacheMu.Lock()
+	inodes := make(map[uint32]*mInode, len(fs.icache))
+	for inum, mi := range fs.icache {
+		inodes[inum] = mi
+	}
+	fs.icacheMu.Unlock()
+	for inum32 := 0; inum32 < fs.imap.maxInodes(); inum32++ {
+		inum := uint32(inum32)
+		mi, ok := inodes[inum]
+		if !ok {
+			continue
+		}
+		if int(mi.ino.Nlink) != refs[inum] {
+			mi.ino.Nlink = uint16(refs[inum])
+			fs.markInodeDirty(inum)
+		}
+	}
+
+	// Write back: unchanged directories only warm the caches; changed
+	// (or synthesized) ones are rewritten through the log.
+	var written []uint32
+	for inum := range finalEnts {
+		written = append(written, inum)
+	}
+	sort.Slice(written, func(i, j int) bool { return written[i] < written[j] })
+	for _, inum := range written {
+		ents := finalEnts[inum]
+		raw, haveRaw := rawEnts[inum]
+		same := haveRaw && len(ents) == len(raw)
+		if same {
+			for i := range ents {
+				if ents[i] != raw[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			fs.dirCacheMu.Lock()
+			fs.dirCache[inum] = ents
+			fs.dirCacheMu.Unlock()
+			fs.dirBytes[inum] = rawBytes[inum]
+			continue
+		}
+		fs.dirBytes[inum] = rawBytes[inum]
+		if err := fs.saveDir(inum, ents); err != nil {
+			return fmt.Errorf("salvage: rewriting directory %d: %w", inum, err)
+		}
+		rep.DirsRepaired++
+	}
+	return nil
+}
+
+// salvageFreeInum returns an unused inum for a synthesized inode
+// (lost+found). Prefers extending nextInum; falls back to the first
+// gap.
+func (fs *FS) salvageFreeInum(acc map[uint32]*salvAccepted) (uint32, error) {
+	if int(fs.nextInum) < fs.imap.maxInodes() {
+		inum := fs.nextInum
+		fs.nextInum++
+		return inum, nil
+	}
+	for inum := RootInum + 1; int(inum) < fs.imap.maxInodes(); inum++ {
+		if _, ok := acc[inum]; !ok {
+			return inum, nil
+		}
+	}
+	return 0, fmt.Errorf("salvage: %w: no inum left for lost+found", ErrNoInodes)
+}
+
+// salvageRebuildUsage recomputes per-segment live bytes from the
+// accepted inodes — the same ground truth Check uses: every data and
+// indirect block plus one block per distinct inode-block address.
+// Segments left with no live data are marked clean and their (dead)
+// summary chains forgotten, making them immediately reusable.
+func (fs *FS) salvageRebuildUsage(acc map[uint32]*salvAccepted) {
+	live := make([]int64, fs.nsegs)
+	count := func(addr int64) {
+		seg := fs.segOf(addr)
+		if seg >= 0 && seg < fs.nsegs {
+			live[seg] += layout.BlockSize
+		}
+	}
+	for _, a := range acc {
+		for _, addr := range a.data {
+			count(addr)
+		}
+		for _, addr := range a.meta {
+			count(addr)
+		}
+	}
+	for addr := range fs.inoBlockRefs {
+		count(addr)
+	}
+	for s := int64(0); s < fs.nsegs; s++ {
+		if live[s] == 0 {
+			if !fs.isQuarantined(s) {
+				fs.usage.markClean(s)
+				fs.pruneSegSums(s)
+			}
+			continue
+		}
+		fs.usage.entries[s].LiveBytes = uint32(live[s])
+		fs.usage.entries[s].Flags |= layout.SegFlagDirty
+	}
+}
+
+// salvagePickHead selects a fresh log head and successor from the clean
+// segments. Two are required: the closing checkpoint needs somewhere to
+// write the rebuilt metadata, and the log needs a successor to thread
+// to.
+func (fs *FS) salvagePickHead() error {
+	var clean []int64
+	for s := int64(0); s < fs.nsegs; s++ {
+		if fs.usage.isClean(s) && !fs.isQuarantined(s) {
+			clean = append(clean, s)
+		}
+	}
+	if len(clean) < 2 {
+		return fmt.Errorf("salvage: %w: only %d clean segments left", ErrNoSpace, len(clean))
+	}
+	fs.head = clean[0]
+	fs.headOff = 0
+	fs.nextSeg = clean[1]
+	fs.freeSegs = append(fs.freeSegs[:0], clean[2:]...)
+	fs.usage.setActive(fs.head, true)
+	return nil
+}

@@ -51,7 +51,7 @@ func (fs *FS) relocateHead(cause error) error {
 		next = fs.popFreeSeg()
 	}
 	if next == layout.NilAddr {
-		fs.degrade(fmt.Sprintf("write relocation failed: no clean segment left after segment %d was retired: %v", bad, cause))
+		fs.degrade("relocate-exhausted", fmt.Sprintf("write relocation failed: no clean segment left after segment %d was retired: %v", bad, cause))
 		return fmt.Errorf("lfs: write relocation out of clean segments (segment %d retired): %w", bad, cause)
 	}
 	fs.usage.setActive(bad, false)

@@ -156,6 +156,23 @@ const (
 	// CtrSegsRetired counts segments withdrawn from service by the write
 	// path: quarantined because they refused a write, never reused.
 	CtrSegsRetired = "fs.seg.retired"
+	// CtrDegradedReasonPrefix labels the entry into degraded mode: the
+	// first degrade call appends its short cause label to this prefix
+	// ("fs.degraded.reason.<label>"), so metrics distinguish e.g. a
+	// summary-chain failure from exhausted checkpoint regions.
+	CtrDegradedReasonPrefix = "fs.degraded.reason."
+	// CtrSalvageRuns counts invocations of the last-resort salvage
+	// scavenger ((*FS).Salvage / SalvageImage).
+	CtrSalvageRuns = "fs.salvage.runs"
+	// CtrSalvageInodes counts inodes recovered (newest verifiable
+	// version accepted) across salvage runs.
+	CtrSalvageInodes = "fs.salvage.inodes.recovered"
+	// CtrSalvageOrphans counts recovered inodes that had lost every
+	// directory reference and were reconnected under lost+found/.
+	CtrSalvageOrphans = "fs.salvage.orphans"
+	// CtrSalvageDropped counts log blocks salvage discarded: unreadable,
+	// failing their summary CRC, or part of an unverifiable inode chain.
+	CtrSalvageDropped = "fs.salvage.blocks.dropped"
 )
 
 // HistWriterStall is the latency histogram of writer stalls behind the

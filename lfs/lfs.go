@@ -63,6 +63,10 @@ type FileInfo = core.FileInfo
 // CheckReport is the result of a full consistency sweep, see (*FS).Check.
 type CheckReport = core.CheckReport
 
+// SalvageReport summarizes a last-resort salvage run, see (*FS).Salvage
+// and SalvageImage.
+type SalvageReport = core.SalvageReport
+
 // ScrubReport is the result of a media scrub, see (*FS).Scrub.
 type ScrubReport = core.ScrubReport
 
@@ -223,4 +227,14 @@ func Format(d *Disk, opts Options) (*FS, error) {
 // opts.NoRollForward is set.
 func Mount(d *Disk, opts Options) (*FS, error) {
 	return core.Mount(d, opts)
+}
+
+// SalvageImage rebuilds a file system directly from its log, without
+// mounting it first — the last-resort repair when Mount fails because
+// both checkpoint regions are lost. Only the superblock must survive;
+// segment summaries provide everything else. On success the returned FS
+// is mounted read-write with a fresh checkpoint. See also (*FS).Salvage
+// for repairing a mounted (typically degraded) file system in place.
+func SalvageImage(d *Disk, opts Options) (*FS, *SalvageReport, error) {
+	return core.SalvageImage(d, opts)
 }
